@@ -1,0 +1,242 @@
+//! The e-library application (paper Fig 3).
+//!
+//! Topology (requests flow left to right, responses back):
+//!
+//! ```text
+//!   ingress ─ frontend ─┬─ details
+//!                       └─ reviews-1 ─┐
+//!                          reviews-2 ─┴─ ratings   ← 1 Gbps bottleneck
+//! ```
+//!
+//! Two workloads hit the ingress simultaneously (§4.3): latency-sensitive
+//! `/product` requests (users traversing the site) and latency-insensitive
+//! `/analytics` requests whose responses are ≈200× larger (a batch
+//! analytics job). Both share the ratings access link, so their network
+//! responses "compete for bandwidth here".
+
+use meshlayer_cluster::{CallStep, ComputeConfig, ServiceBehavior, ServiceSpec, Subset};
+use meshlayer_core::{Classifier, NetworkPlan, Priority, SimSpec};
+use meshlayer_simcore::Dist;
+use meshlayer_workload::WorkloadSpec;
+use std::collections::BTreeMap;
+
+/// Tunable parameters of the e-library experiment.
+#[derive(Clone, Debug)]
+pub struct ElibraryParams {
+    /// Latency-sensitive requests per second.
+    pub ls_rps: f64,
+    /// Batch requests per second.
+    pub batch_rps: f64,
+    /// Bottleneck (ratings access link) rate, bits/second. Paper: 1 Gbps.
+    pub bottleneck_bps: u64,
+    /// Non-bottleneck link rate. Paper: 15 Gbps.
+    pub line_rate_bps: u64,
+    /// Latency-sensitive ratings response size (bytes).
+    pub ls_resp_bytes: f64,
+    /// Batch/LS response ratio. Paper: ≈200×.
+    pub batch_ratio: f64,
+    /// Access-link queue capacity in packets.
+    pub queue_pkts: usize,
+}
+
+impl Default for ElibraryParams {
+    fn default() -> Self {
+        ElibraryParams {
+            ls_rps: 30.0,
+            batch_rps: 30.0,
+            bottleneck_bps: 1_000_000_000,
+            line_rate_bps: 15_000_000_000,
+            ls_resp_bytes: 8_192.0,
+            batch_ratio: 200.0,
+            queue_pkts: 4096,
+        }
+    }
+}
+
+fn labels(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Build the full experiment spec (services, network, workloads,
+/// classifier). The caller sets `spec.xlayer` and `spec.config`.
+pub fn elibrary(params: &ElibraryParams) -> SimSpec {
+    let big = params.ls_resp_bytes * params.batch_ratio;
+
+    // --- frontend ---------------------------------------------------
+    let frontend = ServiceSpec::new(
+        "frontend",
+        1,
+        ServiceBehavior {
+            on_request: CallStep::Seq(vec![
+                CallStep::Compute(Dist::lognormal(0.004, 0.4)),
+                CallStep::Par(vec![
+                    CallStep::call("details", "/product"),
+                    CallStep::call("reviews", "/product"),
+                ]),
+                CallStep::Compute(Dist::lognormal(0.002, 0.4)),
+            ]),
+            response_bytes: Dist::constant(params.ls_resp_bytes),
+        },
+    )
+    .with_path_behavior(
+        "/analytics",
+        ServiceBehavior {
+            on_request: CallStep::Seq(vec![
+                CallStep::Compute(Dist::lognormal(0.003, 0.4)),
+                CallStep::call("reviews", "/analytics"),
+            ]),
+            // The frontend aggregates the scan into a summary.
+            response_bytes: Dist::constant(params.ls_resp_bytes * 4.0),
+        },
+    )
+    .with_compute(ComputeConfig {
+        workers: 16,
+        queue_limit: 4096,
+        priority_aware: false,
+    });
+
+    // --- details ----------------------------------------------------
+    let details = ServiceSpec::new(
+        "details",
+        1,
+        ServiceBehavior {
+            on_request: CallStep::Compute(Dist::lognormal(0.003, 0.5)),
+            response_bytes: Dist::constant(params.ls_resp_bytes / 2.0),
+        },
+    );
+
+    // --- reviews (2 replicas with high/low subsets) ------------------
+    let reviews = ServiceSpec::new(
+        "reviews",
+        2,
+        ServiceBehavior {
+            on_request: CallStep::Seq(vec![
+                CallStep::Compute(Dist::lognormal(0.004, 0.5)),
+                CallStep::call("ratings", "/product"),
+            ]),
+            response_bytes: Dist::constant(params.ls_resp_bytes),
+        },
+    )
+    .with_path_behavior(
+        "/analytics",
+        ServiceBehavior {
+            on_request: CallStep::Seq(vec![
+                CallStep::Compute(Dist::lognormal(0.006, 0.5)),
+                CallStep::call("ratings", "/analytics"),
+            ]),
+            // Aggregated scan result forwarded upward (off-bottleneck).
+            response_bytes: Dist::constant(big / 4.0),
+        },
+    )
+    .with_replica_labels(vec![labels(&[("prio", "high")]), labels(&[("prio", "low")])])
+    .with_subset(Subset::label("high", "prio", "high"))
+    .with_subset(Subset::label("low", "prio", "low"))
+    .with_compute(ComputeConfig {
+        workers: 16,
+        queue_limit: 4096,
+        priority_aware: false,
+    });
+
+    // --- ratings (the bottleneck service) ----------------------------
+    let ratings = ServiceSpec::new(
+        "ratings",
+        1,
+        ServiceBehavior {
+            on_request: CallStep::Compute(Dist::lognormal(0.002, 0.5)),
+            response_bytes: Dist::constant(params.ls_resp_bytes),
+        },
+    )
+    .with_path_behavior(
+        "/analytics",
+        ServiceBehavior {
+            on_request: CallStep::Compute(Dist::lognormal(0.004, 0.5)),
+            // The big scan payload: this is what congests the 1 Gbps link.
+            response_bytes: Dist::constant(big),
+        },
+    )
+    .with_compute(ComputeConfig {
+        workers: 32,
+        queue_limit: 8192,
+        priority_aware: false,
+    });
+
+    // --- workloads (§4.3: uniform random inter-arrival) --------------
+    let ls = WorkloadSpec::get("latency-sensitive", "/product", params.ls_rps);
+    let batch = WorkloadSpec::get("batch-analytics", "/analytics", params.batch_rps);
+
+    // --- network: 15 Gbps everywhere, 1 Gbps at ratings --------------
+    let mut network = NetworkPlan {
+        default_rate_bps: params.line_rate_bps,
+        queue_pkts: params.queue_pkts,
+        ..NetworkPlan::default()
+    };
+    network = network.with_service_rate("ratings", params.bottleneck_bps);
+
+    // --- ingress classification (§4.3 step 1) ------------------------
+    let classifier = Classifier::new()
+        .route("/product", Priority::High)
+        .route("/analytics", Priority::Low);
+
+    let mut spec = SimSpec::new(vec![frontend, details, reviews, ratings], vec![ls, batch]);
+    spec.network = network;
+    spec.classifier = classifier;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshlayer_core::XLayerConfig;
+
+    #[test]
+    fn spec_shape() {
+        let spec = elibrary(&ElibraryParams::default());
+        assert_eq!(spec.services.len(), 4);
+        assert_eq!(spec.workloads.len(), 2);
+        assert_eq!(spec.network.rate_for("ratings"), 1_000_000_000);
+        assert_eq!(spec.network.rate_for("reviews"), 15_000_000_000);
+        let names: Vec<&str> = spec.services.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["frontend", "details", "reviews", "ratings"]);
+    }
+
+    #[test]
+    fn reviews_has_priority_subsets() {
+        let spec = elibrary(&ElibraryParams::default());
+        let reviews = spec.services.iter().find(|s| s.name == "reviews").unwrap();
+        assert_eq!(reviews.replicas, 2);
+        let subset_names: Vec<&str> = reviews.subsets.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(subset_names, vec!["high", "low"]);
+    }
+
+    #[test]
+    fn batch_responses_are_200x() {
+        let p = ElibraryParams::default();
+        let spec = elibrary(&p);
+        let ratings = spec.services.iter().find(|s| s.name == "ratings").unwrap();
+        let (_, product) = &ratings.behaviors[0];
+        let (_, analytics) = &ratings.behaviors[1];
+        let ratio = analytics.response_bytes.mean() / product.response_bytes.mean();
+        assert!((ratio - 200.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn classifier_separates_workloads() {
+        let spec = elibrary(&ElibraryParams::default());
+        let ls = meshlayer_http::Request::get("frontend", "/product/9");
+        let ba = meshlayer_http::Request::get("frontend", "/analytics/scan");
+        assert_eq!(spec.classifier.classify(&ls), Priority::High);
+        assert_eq!(spec.classifier.classify(&ba), Priority::Low);
+    }
+
+    #[test]
+    fn builds_a_simulation() {
+        let mut spec = elibrary(&ElibraryParams::default());
+        spec.xlayer = XLayerConfig::paper_prototype();
+        let sim = meshlayer_core::Simulation::build(spec);
+        // ingress + frontend + details + reviews x2 + ratings = 6 pods.
+        assert_eq!(sim.cluster().pod_count(), 6);
+    }
+}

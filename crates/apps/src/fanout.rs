@@ -1,0 +1,97 @@
+//! Synthetic fan-out application for microbenchmarks.
+//!
+//! A root service calls `width` leaf services in parallel, each `depth`
+//! levels deep — the classic tail-at-scale shape used by the sidecar-
+//! overhead (T2) and load-balancing (A3) experiments.
+
+use meshlayer_cluster::{CallStep, ServiceBehavior, ServiceSpec};
+use meshlayer_core::{Classifier, Priority, SimSpec};
+use meshlayer_simcore::Dist;
+use meshlayer_workload::WorkloadSpec;
+
+/// Build a fan-out app: `width` parallel chains of `depth` services under
+/// one root, with `replicas` replicas per leaf service and exponential
+/// service times of mean `svc_ms` milliseconds.
+pub fn fanout(width: usize, depth: usize, replicas: u32, svc_ms: f64, rps: f64) -> SimSpec {
+    assert!(width >= 1 && depth >= 1, "degenerate fanout");
+    let mut services = Vec::new();
+    // Chains: svc-c{i}-d{j} calls svc-c{i}-d{j+1}.
+    for c in 0..width {
+        for d in 0..depth {
+            let name = format!("svc-c{c}-d{d}");
+            let behavior = if d + 1 < depth {
+                ServiceBehavior {
+                    on_request: CallStep::Seq(vec![
+                        CallStep::Compute(Dist::exp(svc_ms / 1000.0)),
+                        CallStep::call(format!("svc-c{c}-d{}", d + 1), "/work"),
+                    ]),
+                    response_bytes: Dist::constant(2_048.0),
+                }
+            } else {
+                ServiceBehavior {
+                    on_request: CallStep::Compute(Dist::exp(svc_ms / 1000.0)),
+                    response_bytes: Dist::constant(2_048.0),
+                }
+            };
+            services.push(ServiceSpec::new(name, replicas, behavior));
+        }
+    }
+    // Root fans out to every chain head.
+    let root = ServiceSpec::new(
+        "root",
+        1,
+        ServiceBehavior {
+            on_request: CallStep::Par(
+                (0..width)
+                    .map(|c| CallStep::call(format!("svc-c{c}-d0"), "/work"))
+                    .collect(),
+            ),
+            response_bytes: Dist::constant(4_096.0),
+        },
+    );
+    services.push(root);
+
+    let workload = WorkloadSpec::get("fanout", "/work", rps).with_authority("root");
+    let mut spec = SimSpec::new(services, vec![workload]);
+    spec.classifier = Classifier::new().route("/", Priority::High);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_width_times_depth_plus_root() {
+        let spec = fanout(3, 2, 1, 1.0, 10.0);
+        assert_eq!(spec.services.len(), 3 * 2 + 1);
+        let root = spec.services.iter().find(|s| s.name == "root").unwrap();
+        assert_eq!(root.behaviors[0].1.on_request.call_count(), 3);
+    }
+
+    #[test]
+    fn chains_link_downward() {
+        let spec = fanout(1, 3, 1, 1.0, 10.0);
+        let head = spec.services.iter().find(|s| s.name == "svc-c0-d0").unwrap();
+        match &head.behaviors[0].1.on_request {
+            CallStep::Seq(steps) => match &steps[1] {
+                CallStep::Call { service, .. } => assert_eq!(service, "svc-c0-d1"),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_width_rejected() {
+        fanout(0, 1, 1, 1.0, 1.0);
+    }
+
+    #[test]
+    fn deploys() {
+        let sim = meshlayer_core::Simulation::build(fanout(2, 2, 2, 1.0, 5.0));
+        // 4 leaf services x2 replicas + root + ingress = 10.
+        assert_eq!(sim.cluster().pod_count(), 10);
+    }
+}

@@ -1,0 +1,25 @@
+//! # meshlayer-apps
+//!
+//! Reference applications for the experiments.
+//!
+//! * [`elibrary()`] — the paper's Fig 3 setup: an e-library app (bookinfo
+//!   derivative) with front end, details, two reviews replicas and
+//!   ratings, a 1 Gbps bottleneck at the ratings segment, and the two
+//!   workloads of §4.3 (latency-sensitive browsing + batch analytics with
+//!   ≈200× larger responses).
+//! * [`ecommerce()`] — the §4.1 motivating scenario at larger scale:
+//!   user-facing requests, advertising/recommendation analytics scans,
+//!   periodic product-database updates and log collection, all sharing
+//!   caches and databases "buried several hops deep".
+//! * [`fanout()`] — a synthetic fan-out/fan-in app for microbenchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecommerce;
+pub mod elibrary;
+pub mod fanout;
+
+pub use ecommerce::ecommerce;
+pub use elibrary::{elibrary, ElibraryParams};
+pub use fanout::fanout;

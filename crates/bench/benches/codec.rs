@@ -1,0 +1,38 @@
+//! Microbenchmarks of the HTTP codec shared by the simulation (wire-size
+//! accounting) and the realnet prototype (actual parsing on the sockets).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use meshlayer_http::codec::{decode_request_head, encode_request_head, find_head_end};
+use meshlayer_http::Request;
+
+fn demo_request() -> Request {
+    Request::post("reviews", "/reviews/42?full=true", 4096)
+        .with_header("x-request-id", "3f2a9d1c-55aa-4b7e-9f11-77d0c2a9e001")
+        .with_header("x-mesh-priority", "high")
+        .with_header("x-b3-traceid", "463ac35c9f6413ad48485a3953bb6124")
+        .with_header("x-b3-spanid", "a2fb4a1d1a96d312")
+        .with_header("user-agent", "meshlayer-bench/0.1")
+        .with_header("accept", "application/json")
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let req = demo_request();
+    g.bench_function("encode_request_head", |b| {
+        b.iter(|| black_box(encode_request_head(black_box(&req))))
+    });
+    let encoded = encode_request_head(&req);
+    g.bench_function("find_head_end", |b| {
+        b.iter(|| black_box(find_head_end(black_box(&encoded))))
+    });
+    g.bench_function("decode_request_head", |b| {
+        b.iter(|| black_box(decode_request_head(black_box(&encoded)).unwrap()))
+    });
+    g.bench_function("wire_size", |b| {
+        b.iter(|| black_box(black_box(&req).wire_size()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Microbenchmarks of the measurement plane: HDR-histogram recording and
+//! quantile queries (the per-request accounting cost of the recorder).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use meshlayer_simcore::{Histogram, SimRng};
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.bench_function("record", |b| {
+        let mut h = Histogram::new();
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            h.record(black_box(rng.below(1_000_000_000)));
+        })
+    });
+    g.bench_function("quantile_p99", |b| {
+        let mut h = Histogram::new();
+        let mut rng = SimRng::new(2);
+        for _ in 0..100_000 {
+            h.record(rng.below(1_000_000_000));
+        }
+        b.iter(|| black_box(h.value_at_quantile(0.99)))
+    });
+    g.bench_function("merge_100k", |b| {
+        let mut a = Histogram::new();
+        let mut other = Histogram::new();
+        let mut rng = SimRng::new(3);
+        for _ in 0..100_000 {
+            other.record(rng.below(1_000_000_000));
+        }
+        b.iter(|| {
+            a.merge(black_box(&other));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_histogram);
+criterion_main!(benches);

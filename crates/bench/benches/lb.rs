@@ -1,0 +1,42 @@
+//! Microbenchmarks of the load-balancing policies: one `pick` per
+//! iteration over a 16-endpoint pool (the sidecar's per-request routing
+//! cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use meshlayer_cluster::PodId;
+use meshlayer_mesh::{LbPolicy, LoadBalancer, PickCtx};
+use meshlayer_simcore::{SimDuration, SimRng};
+
+fn bench_lb(c: &mut Criterion) {
+    let pods: Vec<PodId> = (0..16).map(PodId).collect();
+    let mut g = c.benchmark_group("lb_pick_16");
+    for policy in [
+        LbPolicy::RoundRobin,
+        LbPolicy::Random,
+        LbPolicy::LeastRequest,
+        LbPolicy::PeakEwma,
+        LbPolicy::RingHash,
+    ] {
+        g.bench_function(format!("{policy:?}"), |b| {
+            let mut lb = LoadBalancer::new(policy);
+            for &p in &pods {
+                lb.observe(p, SimDuration::from_micros(500 + p.0 as u64 * 100));
+            }
+            let mut rng = SimRng::new(1);
+            let outstanding = |p: PodId| (p.0 % 5) as usize;
+            let mut key = 0u64;
+            b.iter(|| {
+                key += 1;
+                let ctx = PickCtx {
+                    outstanding: &outstanding,
+                    hash: Some(key),
+                };
+                black_box(lb.pick(&pods, &ctx, &mut rng))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lb);
+criterion_main!(benches);

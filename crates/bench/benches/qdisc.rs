@@ -1,0 +1,85 @@
+//! Microbenchmarks of the qdisc implementations: enqueue+dequeue cycles
+//! under a standing backlog. These bound the per-packet cost of the
+//! cross-layer TC configurations (DropTail baseline vs HTB prototype).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use meshlayer_netsim::{
+    ClassId, DropTail, Drr, HtbClass, HtbLite, NodeId, Packet, Prio, Qdisc, Tbf,
+};
+use meshlayer_simcore::SimTime;
+
+fn pkt(i: u64) -> Packet {
+    Packet::data(i, NodeId(0), NodeId(1), 1, i * 1448, 1448, (i % 2 * 38 + 8) as u8)
+}
+
+fn cycle(q: &mut dyn Qdisc, iters: u64) {
+    let now = SimTime::from_micros(1);
+    // Keep a standing queue of ~64 packets.
+    for i in 0..64 {
+        let _ = q.enqueue(pkt(i), ClassId((i % 2) as u16), now);
+    }
+    for i in 64..(64 + iters) {
+        let _ = q.enqueue(pkt(i), ClassId((i % 2) as u16), now);
+        if let meshlayer_netsim::Deq::Packet(p) = q.dequeue(now) {
+            black_box(p);
+        }
+    }
+}
+
+fn bench_qdiscs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qdisc_enq_deq");
+    g.bench_function("droptail", |b| {
+        b.iter_custom(|iters| {
+            let mut q = DropTail::new(1 << 20);
+            let t = std::time::Instant::now();
+            cycle(&mut q, iters);
+            t.elapsed()
+        })
+    });
+    g.bench_function("prio_2band", |b| {
+        b.iter_custom(|iters| {
+            let mut q = Prio::new(2, 1 << 20);
+            let t = std::time::Instant::now();
+            cycle(&mut q, iters);
+            t.elapsed()
+        })
+    });
+    g.bench_function("tbf", |b| {
+        b.iter_custom(|iters| {
+            let mut q = Tbf::new(u64::MAX / 2, 1 << 30, 1 << 20);
+            let t = std::time::Instant::now();
+            cycle(&mut q, iters);
+            t.elapsed()
+        })
+    });
+    g.bench_function("drr_2class", |b| {
+        b.iter_custom(|iters| {
+            let mut q = Drr::new(&[3000, 1000], 1 << 20);
+            let t = std::time::Instant::now();
+            cycle(&mut q, iters);
+            t.elapsed()
+        })
+    });
+    g.bench_function("htb_95_5", |b| {
+        b.iter_custom(|iters| {
+            let rate = u64::MAX / 4;
+            let mut q = HtbLite::new(vec![
+                HtbClass {
+                    limit_pkts: 1 << 20,
+                    ..HtbClass::new(rate / 20 * 19, rate, 0)
+                },
+                HtbClass {
+                    limit_pkts: 1 << 20,
+                    ..HtbClass::new(rate / 20, rate, 1)
+                },
+            ]);
+            let t = std::time::Instant::now();
+            cycle(&mut q, iters);
+            t.elapsed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_qdiscs);
+criterion_main!(benches);

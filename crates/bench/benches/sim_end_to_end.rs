@@ -1,0 +1,56 @@
+//! End-to-end simulation benchmarks: one short e-library run per
+//! measurement, baseline vs prototype — both a smoke-check that the Fig 4
+//! machinery stays fast enough to sweep, and the criterion face of the
+//! figure itself (`cargo bench` exercises exactly the code path the
+//! `fig4_latency` binary sweeps).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use meshlayer_apps::{elibrary, ElibraryParams};
+use meshlayer_core::{SimConfig, Simulation, XLayerConfig};
+use meshlayer_simcore::SimDuration;
+
+fn run_once(optimized: bool, seed: u64) -> f64 {
+    let params = ElibraryParams {
+        ls_rps: 30.0,
+        batch_rps: 30.0,
+        ..ElibraryParams::default()
+    };
+    let mut spec = elibrary(&params);
+    spec.xlayer = if optimized {
+        XLayerConfig::paper_prototype()
+    } else {
+        XLayerConfig::baseline()
+    };
+    spec.config = SimConfig {
+        seed,
+        duration: SimDuration::from_secs(2),
+        warmup: SimDuration::from_millis(400),
+        cooldown: SimDuration::from_millis(200),
+        ..SimConfig::default()
+    };
+    let m = Simulation::build(spec).run();
+    m.class("latency-sensitive").map_or(0.0, |c| c.p99_ms)
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elibrary_2s_sim");
+    g.sample_size(10);
+    g.bench_function("fig4_baseline", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_once(false, seed))
+        })
+    });
+    g.bench_function("fig4_prototype", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_once(true, seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmarks of the transport state machines: a full
+//! message-send/ack round trip between two connection endpoints (no
+//! network in between), per congestion controller.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use meshlayer_netsim::NodeId;
+use meshlayer_simcore::{SimDuration, SimTime};
+use meshlayer_transport::{CcAlgo, Conn, ConnConfig};
+
+/// Send one `len`-byte message a->b lossless and drain all acks.
+fn round_trip(a: &mut Conn, b: &mut Conn, msg: u64, len: u64, mut now: SimTime) -> SimTime {
+    let owd = SimDuration::from_micros(50);
+    let mut to_b: Vec<_> = a.send_message(msg, len, now).packets;
+    let mut to_a: Vec<meshlayer_netsim::Packet> = Vec::new();
+    while !to_b.is_empty() || !to_a.is_empty() {
+        now += owd;
+        let mut next_a = Vec::new();
+        let mut next_b = Vec::new();
+        for p in to_b.drain(..) {
+            let out = b.on_packet(&p, now);
+            next_a.extend(out.packets);
+        }
+        for p in to_a.drain(..) {
+            let out = a.on_packet(&p, now);
+            next_b.extend(out.packets);
+        }
+        to_a = next_a;
+        to_b = next_b;
+    }
+    now
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_msg_round_trip");
+    for algo in [CcAlgo::Reno, CcAlgo::Cubic, CcAlgo::Ledbat, CcAlgo::TcpLp] {
+        g.bench_function(format!("{algo:?}_64KiB"), |b| {
+            b.iter_custom(|iters| {
+                let cfg = ConnConfig {
+                    cc: algo,
+                    ..ConnConfig::default()
+                };
+                let mut a = Conn::new(1, 0, NodeId(0), NodeId(1), cfg.clone());
+                let mut bb = Conn::new(1, 1, NodeId(1), NodeId(0), cfg);
+                let mut now = SimTime::ZERO;
+                let t = std::time::Instant::now();
+                for i in 0..iters {
+                    now = round_trip(&mut a, &mut bb, i + 1, 64 * 1024, now);
+                    black_box(&a);
+                }
+                t.elapsed()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates the paper's Fig 4 (latency-sensitive p50/p99 vs RPS, with
+//! and without cross-layer optimization) and the §4.3 batch-degradation
+//! claim (T1). Set MESHLAYER_SECS to shrink run length.
+
+use meshlayer_bench::{fig4_sweep, render_fig4, render_t1, RunLength};
+
+fn main() {
+    let len = RunLength::from_env();
+    let points: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let points = if points.is_empty() {
+        vec![10.0, 20.0, 30.0, 40.0, 50.0]
+    } else {
+        points
+    };
+    eprintln!(
+        "running fig4 sweep: rps={points:?}, {}s per run ({} runs)...",
+        len.secs,
+        points.len() * 2
+    );
+    let rows = fig4_sweep(&points, len);
+    println!("{}", render_fig4(&rows));
+    println!("{}", render_t1(&rows));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("serializable rows")
+    );
+}

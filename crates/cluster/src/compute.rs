@@ -1,0 +1,226 @@
+//! Per-pod execution model.
+//!
+//! A pod runs `workers` request handlers concurrently; excess requests wait
+//! in a bounded run queue. The queue is two-band priority-aware — band 0
+//! drains strictly before band 1 — which implements the "prioritized
+//! request queuing" extension the paper's §5 proposes for resources beyond
+//! the network. With `priority_aware = false` both bands collapse into
+//! arrival order (plain FIFO), which is the paper's baseline behaviour.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Result of offering a job to the pod.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// A worker is free; the job starts immediately.
+    Start,
+    /// All workers busy; the job waits in the run queue.
+    Queued,
+    /// Run queue full; the job is rejected (the sidecar surfaces a 503).
+    Rejected,
+}
+
+/// Compute-queue configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ComputeConfig {
+    /// Concurrent handler slots.
+    pub workers: u32,
+    /// Maximum queued (not yet running) jobs.
+    pub queue_limit: usize,
+    /// Whether band 0 is served strictly before band 1.
+    pub priority_aware: bool,
+}
+
+impl Default for ComputeConfig {
+    fn default() -> Self {
+        ComputeConfig {
+            workers: 8,
+            queue_limit: 1024,
+            priority_aware: false,
+        }
+    }
+}
+
+/// The run-queue state machine. Jobs are opaque `u64` tags owned by the
+/// driver; the driver samples each job's service time when it starts.
+#[derive(Debug)]
+pub struct PodCompute {
+    cfg: ComputeConfig,
+    running: u32,
+    /// band 0 = high priority, band 1 = low.
+    bands: [VecDeque<u64>; 2],
+    /// Lifetime counters.
+    started: u64,
+    rejected: u64,
+    peak_queue: usize,
+}
+
+impl PodCompute {
+    /// Create from config.
+    pub fn new(cfg: ComputeConfig) -> Self {
+        assert!(cfg.workers > 0, "pod with zero workers");
+        PodCompute {
+            cfg,
+            running: 0,
+            bands: [VecDeque::new(), VecDeque::new()],
+            started: 0,
+            rejected: 0,
+            peak_queue: 0,
+        }
+    }
+
+    /// Offer job `tag` with `high` priority. If [`Admission::Start`] is
+    /// returned the driver must schedule the job's completion and later
+    /// call [`PodCompute::on_complete`].
+    pub fn offer(&mut self, tag: u64, high: bool) -> Admission {
+        if self.running < self.cfg.workers {
+            self.running += 1;
+            self.started += 1;
+            return Admission::Start;
+        }
+        if self.queue_len() >= self.cfg.queue_limit {
+            self.rejected += 1;
+            return Admission::Rejected;
+        }
+        let band = if self.cfg.priority_aware && high { 0 } else { 1 };
+        self.bands[band].push_back(tag);
+        self.peak_queue = self.peak_queue.max(self.queue_len());
+        Admission::Queued
+    }
+
+    /// A running job finished. Returns the next queued job to start, if
+    /// any (the driver then samples its service time).
+    ///
+    /// # Panics
+    /// Panics if no job was running (driver bug).
+    pub fn on_complete(&mut self) -> Option<u64> {
+        assert!(self.running > 0, "on_complete with no running jobs");
+        self.running -= 1;
+        let next = self.bands[0]
+            .pop_front()
+            .or_else(|| self.bands[1].pop_front());
+        if next.is_some() {
+            self.running += 1;
+            self.started += 1;
+        }
+        next
+    }
+
+    /// Jobs currently executing.
+    pub fn running(&self) -> u32 {
+        self.running
+    }
+
+    /// Jobs waiting to execute.
+    pub fn queue_len(&self) -> usize {
+        self.bands[0].len() + self.bands[1].len()
+    }
+
+    /// Total jobs started over the pod's lifetime.
+    pub fn started(&self) -> u64 {
+        self.started
+    }
+
+    /// Total jobs rejected for queue overflow.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Peak run-queue depth observed.
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
+    }
+
+    /// In-flight + queued (the "least request" load-balancing signal).
+    pub fn load(&self) -> usize {
+        self.running as usize + self.queue_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pod(workers: u32, limit: usize, prio: bool) -> PodCompute {
+        PodCompute::new(ComputeConfig {
+            workers,
+            queue_limit: limit,
+            priority_aware: prio,
+        })
+    }
+
+    #[test]
+    fn starts_until_workers_full_then_queues() {
+        let mut p = pod(2, 10, false);
+        assert_eq!(p.offer(1, false), Admission::Start);
+        assert_eq!(p.offer(2, false), Admission::Start);
+        assert_eq!(p.offer(3, false), Admission::Queued);
+        assert_eq!(p.running(), 2);
+        assert_eq!(p.queue_len(), 1);
+        assert_eq!(p.load(), 3);
+    }
+
+    #[test]
+    fn rejects_beyond_queue_limit() {
+        let mut p = pod(1, 1, false);
+        assert_eq!(p.offer(1, false), Admission::Start);
+        assert_eq!(p.offer(2, false), Admission::Queued);
+        assert_eq!(p.offer(3, false), Admission::Rejected);
+        assert_eq!(p.rejected(), 1);
+    }
+
+    #[test]
+    fn completion_starts_next_fifo() {
+        let mut p = pod(1, 10, false);
+        p.offer(1, false);
+        p.offer(2, false);
+        p.offer(3, false);
+        assert_eq!(p.on_complete(), Some(2));
+        assert_eq!(p.on_complete(), Some(3));
+        assert_eq!(p.on_complete(), None);
+        assert_eq!(p.running(), 0);
+        assert_eq!(p.started(), 3);
+    }
+
+    #[test]
+    fn priority_band_served_first() {
+        let mut p = pod(1, 10, true);
+        p.offer(0, false); // running
+        p.offer(1, false); // low band
+        p.offer(2, true); // high band
+        p.offer(3, false); // low band
+        assert_eq!(p.on_complete(), Some(2), "high-priority job jumps ahead");
+        assert_eq!(p.on_complete(), Some(1));
+        assert_eq!(p.on_complete(), Some(3));
+    }
+
+    #[test]
+    fn priority_ignored_when_disabled() {
+        let mut p = pod(1, 10, false);
+        p.offer(0, false);
+        p.offer(1, false);
+        p.offer(2, true);
+        assert_eq!(p.on_complete(), Some(1), "FIFO when priority_aware=false");
+    }
+
+    #[test]
+    #[should_panic(expected = "no running jobs")]
+    fn complete_without_running_panics() {
+        let mut p = pod(1, 1, false);
+        p.on_complete();
+    }
+
+    #[test]
+    fn peak_queue_tracks_high_water() {
+        let mut p = pod(1, 100, false);
+        p.offer(0, false);
+        for i in 1..=5 {
+            p.offer(i, false);
+        }
+        for _ in 0..3 {
+            p.on_complete();
+        }
+        assert_eq!(p.peak_queue(), 5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Run results: everything the harness needs to print a figure or table.
+
+use crate::sim::{Simulation, WorldStats};
+use meshlayer_mesh::SidecarStats;
+use meshlayer_workload::ClassSummary;
+use serde::{Deserialize, Serialize};
+
+/// Per-link report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkReport {
+    /// `from->to` rendered name.
+    pub name: String,
+    /// Line rate, bits/second.
+    pub rate_bps: u64,
+    /// Fraction of the run the wire was busy.
+    pub utilization: f64,
+    /// Wire bytes transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped at the queue.
+    pub drops: u64,
+    /// Peak queue depth, packets.
+    pub peak_queue_pkts: usize,
+    /// Bytes sent with the latency-sensitive DSCP tag.
+    pub bytes_dscp_latency: u64,
+    /// Bytes sent with the batch DSCP tag.
+    pub bytes_dscp_batch: u64,
+}
+
+/// Per-pod report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PodReport {
+    /// Pod name.
+    pub name: String,
+    /// Compute jobs executed.
+    pub jobs: u64,
+    /// Jobs rejected (queue overflow).
+    pub rejected: u64,
+    /// Peak compute-queue depth.
+    pub peak_queue: usize,
+}
+
+/// Transport aggregates across every connection.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TransportReport {
+    /// Connections created.
+    pub connections: usize,
+    /// Fast retransmissions.
+    pub fast_retx: u64,
+    /// RTO events.
+    pub timeouts: u64,
+    /// Messages fully delivered.
+    pub msgs_delivered: u64,
+    /// Payload bytes sent (including retransmissions).
+    pub bytes_sent: u64,
+}
+
+/// Everything measured in one run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Per-workload-class latency summaries.
+    pub classes: Vec<ClassSummary>,
+    /// Per-link reports (access links only are usually interesting).
+    pub links: Vec<LinkReport>,
+    /// Per-pod compute reports.
+    pub pods: Vec<PodReport>,
+    /// Fleet-wide sidecar counters.
+    pub fleet: SidecarStats,
+    /// Transport aggregates.
+    pub transport: TransportReport,
+    /// Root/request counters.
+    pub world: WorldStats,
+    /// Events processed by the loop.
+    pub events: u64,
+    /// Simulated seconds.
+    pub sim_seconds: f64,
+    /// Spans collected.
+    pub spans: usize,
+}
+
+impl RunMetrics {
+    /// Harvest metrics from a finished simulation.
+    pub(crate) fn collect(sim: &mut Simulation, events: u64) -> RunMetrics {
+        let now = sim.now();
+        let classes = sim.recorder.summaries();
+        let links = sim
+            .fabric
+            .topology
+            .links()
+            .map(|l| {
+                let s = l.stats();
+                LinkReport {
+                    name: format!(
+                        "{}->{}",
+                        sim.fabric.topology.node_name(l.from()),
+                        sim.fabric.topology.node_name(l.to())
+                    ),
+                    rate_bps: l.rate_bps(),
+                    utilization: l.utilization(now),
+                    tx_bytes: s.tx_bytes,
+                    drops: l.drops(),
+                    peak_queue_pkts: s.peak_queue_pkts,
+                    bytes_dscp_latency: s
+                        .tx_bytes_by_dscp
+                        .get(&meshlayer_netsim::DSCP_LATENCY)
+                        .copied()
+                        .unwrap_or(0),
+                    bytes_dscp_batch: s
+                        .tx_bytes_by_dscp
+                        .get(&meshlayer_netsim::DSCP_BATCH)
+                        .copied()
+                        .unwrap_or(0),
+                }
+            })
+            .collect();
+        let pods = sim
+            .cluster
+            .pods()
+            .map(|p| PodReport {
+                name: p.name.clone(),
+                jobs: p.compute.started(),
+                rejected: p.compute.rejected(),
+                peak_queue: p.compute.peak_queue(),
+            })
+            .collect();
+        let mut fleet = SidecarStats::default();
+        let mut names: Vec<_> = sim.sidecars.keys().copied().collect();
+        names.sort();
+        for pod in names {
+            fleet.merge(sim.sidecars[&pod].stats());
+        }
+        let mut transport = TransportReport {
+            connections: sim.conns.len(),
+            ..TransportReport::default()
+        };
+        let mut conn_ids: Vec<u64> = sim.conns.keys().copied().collect();
+        conn_ids.sort_unstable();
+        for id in conn_ids {
+            let pair = &sim.conns[&id];
+            for c in [&pair.a, &pair.b] {
+                let s = c.stats();
+                transport.fast_retx += s.fast_retx;
+                transport.timeouts += s.timeouts;
+                transport.msgs_delivered += s.msgs_delivered;
+                transport.bytes_sent += s.bytes_sent;
+            }
+        }
+        RunMetrics {
+            classes,
+            links,
+            pods,
+            fleet,
+            transport,
+            world: sim.stats.clone(),
+            events,
+            sim_seconds: now.as_secs_f64(),
+            spans: sim.tracer.spans().len(),
+        }
+    }
+
+    /// Latency summary of one class.
+    pub fn class(&self, name: &str) -> Option<&ClassSummary> {
+        self.classes.iter().find(|c| c.class == name)
+    }
+
+    /// A single link report by rendered name.
+    pub fn link(&self, name: &str) -> Option<&LinkReport> {
+        self.links.iter().find(|l| l.name == name)
+    }
+
+    /// A compact human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run: {:.1}s simulated, {} events, {} roots ({} ok, {} failed)\n",
+            self.sim_seconds,
+            self.events,
+            self.world.roots_started,
+            self.world.roots_ok,
+            self.world.roots_failed
+        ));
+        for c in &self.classes {
+            out.push_str(&format!(
+                "  {:<20} n={:<6} p50={:>9.2}ms p90={:>9.2}ms p99={:>9.2}ms mean={:>9.2}ms fail={}\n",
+                c.class, c.completed, c.p50_ms, c.p90_ms, c.p99_ms, c.mean_ms, c.failed
+            ));
+        }
+        let mut hot: Vec<&LinkReport> = self.links.iter().filter(|l| l.utilization > 0.01).collect();
+        hot.sort_by(|a, b| b.utilization.partial_cmp(&a.utilization).unwrap());
+        for l in hot.iter().take(6) {
+            out.push_str(&format!(
+                "  link {:<26} {:>6.1}% util, {} drops, peak q {}\n",
+                l.name,
+                l.utilization * 100.0,
+                l.drops,
+                l.peak_queue_pkts
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,214 @@
+//! Network construction: from a deployed cluster to a packet topology.
+//!
+//! The paper's testbed emulates inter-pod links: 15 Gbps everywhere except
+//! a 1 Gbps bottleneck at the reviews→ratings segment. We realize that as
+//! a star: one virtual switch, one duplex access link per pod (the pod's
+//! virtual NIC — where the prototype installs its TC rules), with
+//! per-service rate overrides so e.g. `ratings` gets a 1 Gbps access link.
+
+use meshlayer_cluster::{Cluster, PodId};
+use meshlayer_netsim::{DropTail, NodeId, Qdisc, Topology};
+use meshlayer_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Declarative link plan.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetworkPlan {
+    /// Default access-link rate (bits/second). Paper: 15 Gbps.
+    pub default_rate_bps: u64,
+    /// Per-service access-link overrides (applies to every pod of the
+    /// service). Paper: `ratings` at 1 Gbps.
+    pub service_rate_bps: HashMap<String, u64>,
+    /// Per-pod access-link overrides by pod name (e.g. `backend-1`);
+    /// takes precedence over the service override. Used by heterogeneity
+    /// experiments (A5).
+    pub pod_rate_bps: HashMap<String, u64>,
+    /// One-way propagation delay per link.
+    pub link_delay: SimDuration,
+    /// Access-link queue capacity, packets (DropTail baseline).
+    pub queue_pkts: usize,
+}
+
+impl Default for NetworkPlan {
+    fn default() -> Self {
+        NetworkPlan {
+            default_rate_bps: 15_000_000_000,
+            service_rate_bps: HashMap::new(),
+            pod_rate_bps: HashMap::new(),
+            link_delay: SimDuration::from_micros(25),
+            queue_pkts: 512,
+        }
+    }
+}
+
+impl NetworkPlan {
+    /// Override one service's access-link rate.
+    pub fn with_service_rate(mut self, service: impl Into<String>, rate_bps: u64) -> Self {
+        self.service_rate_bps.insert(service.into(), rate_bps);
+        self
+    }
+
+    /// Override one pod's access-link rate (by pod name, e.g. `backend-1`).
+    pub fn with_pod_rate(mut self, pod: impl Into<String>, rate_bps: u64) -> Self {
+        self.pod_rate_bps.insert(pod.into(), rate_bps);
+        self
+    }
+
+    /// The rate for a pod of `service`.
+    pub fn rate_for(&self, service: &str) -> u64 {
+        self.service_rate_bps
+            .get(service)
+            .copied()
+            .unwrap_or(self.default_rate_bps)
+    }
+}
+
+/// The realized network: topology plus pod↔node mappings.
+pub struct Fabric {
+    /// The packet topology (switch + per-pod nodes).
+    pub topology: Topology,
+    /// Topology node of each pod (indexed by `PodId.0`).
+    pub pod_node: Vec<NodeId>,
+    /// Reverse map: topology node → pod.
+    pub node_pod: HashMap<NodeId, PodId>,
+    /// The central switch node.
+    pub switch: NodeId,
+}
+
+impl Fabric {
+    /// Build the star fabric for every pod in `cluster`.
+    pub fn build(cluster: &Cluster, plan: &NetworkPlan) -> Fabric {
+        let mut topology = Topology::new();
+        let switch = topology.add_node("switch");
+        let mut pod_node = Vec::with_capacity(cluster.pod_count());
+        let mut node_pod = HashMap::new();
+        let mk = |plan: &NetworkPlan| -> Box<dyn Qdisc> { Box::new(DropTail::new(plan.queue_pkts)) };
+        for pod in cluster.pods() {
+            let n = topology.add_node(pod.name.clone());
+            let service = pod
+                .labels
+                .get("app")
+                .cloned()
+                .unwrap_or_else(|| pod.name.clone());
+            let rate = plan
+                .pod_rate_bps
+                .get(&pod.name)
+                .copied()
+                .unwrap_or_else(|| plan.rate_for(&service));
+            // Uplink (pod → switch): this is the pod's virtual NIC egress,
+            // the attachment point for the paper's TC rules.
+            topology.add_link(n, switch, rate, plan.link_delay, mk(plan));
+            // Downlink (switch → pod).
+            topology.add_link(switch, n, rate, plan.link_delay, mk(plan));
+            pod_node.push(n);
+            node_pod.insert(n, pod.id);
+        }
+        topology.compute_routes();
+        Fabric {
+            topology,
+            pod_node,
+            node_pod,
+            switch,
+        }
+    }
+
+    /// The topology node hosting a pod.
+    pub fn node_of(&self, pod: PodId) -> NodeId {
+        self.pod_node[pod.0 as usize]
+    }
+
+    /// The pod living at a topology node (None for the switch).
+    pub fn pod_at(&self, node: NodeId) -> Option<PodId> {
+        self.node_pod.get(&node).copied()
+    }
+
+    /// The uplink (pod → switch) of a pod — its virtual NIC egress.
+    pub fn uplink(&self, pod: PodId) -> meshlayer_netsim::LinkId {
+        let n = self.node_of(pod);
+        self.topology
+            .link_between(n, self.switch)
+            .expect("every pod has an uplink")
+    }
+
+    /// The downlink (switch → pod) of a pod.
+    pub fn downlink(&self, pod: PodId) -> meshlayer_netsim::LinkId {
+        let n = self.node_of(pod);
+        self.topology
+            .link_between(self.switch, n)
+            .expect("every pod has a downlink")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshlayer_cluster::{ServiceBehavior, ServiceSpec};
+
+    fn cluster() -> Cluster {
+        let mut c = Cluster::new(&["host"], 64);
+        c.deploy(ServiceSpec::new("frontend", 1, ServiceBehavior::respond(100.0)));
+        c.deploy(ServiceSpec::new("reviews", 2, ServiceBehavior::respond(100.0)));
+        c.deploy(ServiceSpec::new("ratings", 1, ServiceBehavior::respond(100.0)));
+        c
+    }
+
+    #[test]
+    fn star_has_two_links_per_pod() {
+        let c = cluster();
+        let f = Fabric::build(&c, &NetworkPlan::default());
+        assert_eq!(f.topology.node_count(), 1 + c.pod_count());
+        assert_eq!(f.topology.link_count(), 2 * c.pod_count());
+    }
+
+    #[test]
+    fn service_rate_override_applies_to_all_replicas() {
+        let c = cluster();
+        let plan = NetworkPlan::default().with_service_rate("ratings", 1_000_000_000);
+        let f = Fabric::build(&c, &plan);
+        let ratings_pods: Vec<PodId> = c.endpoints("ratings", None);
+        for p in ratings_pods {
+            let up = f.uplink(p);
+            assert_eq!(f.topology.link(up).rate_bps(), 1_000_000_000);
+            let down = f.downlink(p);
+            assert_eq!(f.topology.link(down).rate_bps(), 1_000_000_000);
+        }
+        // Other pods keep the default.
+        let frontend = c.endpoints("frontend", None)[0];
+        let up = f.uplink(frontend);
+        assert_eq!(f.topology.link(up).rate_bps(), 15_000_000_000);
+    }
+
+    #[test]
+    fn all_pod_pairs_route_via_switch() {
+        let c = cluster();
+        let mut f = Fabric::build(&c, &NetworkPlan::default());
+        let pods: Vec<PodId> = c.pods().map(|p| p.id).collect();
+        for &a in &pods {
+            for &b in &pods {
+                if a != b {
+                    let route = f.topology.path(f.node_of(a), f.node_of(b));
+                    assert_eq!(route.hops(), 2, "{a:?}->{b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_pod_round_trip() {
+        let c = cluster();
+        let f = Fabric::build(&c, &NetworkPlan::default());
+        for pod in c.pods() {
+            let n = f.node_of(pod.id);
+            assert_eq!(f.pod_at(n), Some(pod.id));
+        }
+        assert_eq!(f.pod_at(f.switch), None);
+    }
+
+    #[test]
+    fn rate_for_lookup() {
+        let plan = NetworkPlan::default().with_service_rate("x", 5);
+        assert_eq!(plan.rate_for("x"), 5);
+        assert_eq!(plan.rate_for("y"), 15_000_000_000);
+    }
+}

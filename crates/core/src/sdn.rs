@@ -1,0 +1,195 @@
+//! Coordination with lower layers (§3.5): an SDN-controller analogue.
+//!
+//! "A physical network SDN controller could provide information about the
+//! level of congestion along network paths, and the service mesh could use
+//! this to control request rates or adjust load balancing among service
+//! instances." This module is that out-of-band API: the controller
+//! periodically snapshots per-link utilization from the fabric and the
+//! mesh consults it when choosing endpoints
+//! ([`crate::XLayerConfig::sdn_lb`]).
+
+use crate::netplan::Fabric;
+use meshlayer_cluster::PodId;
+use meshlayer_simcore::SimTime;
+use std::collections::HashMap;
+
+/// Windowed link-utilization observer + congestion oracle.
+pub struct SdnController {
+    /// Utilization of each link over the last completed window.
+    utilization: HashMap<meshlayer_netsim::LinkId, f64>,
+    /// tx_bytes per link at the last observation.
+    last_bytes: HashMap<meshlayer_netsim::LinkId, u64>,
+    last_at: SimTime,
+    /// Links above this utilization are "congested".
+    threshold: f64,
+    observations: u64,
+}
+
+impl SdnController {
+    /// A controller flagging links above `threshold` utilization.
+    pub fn new(threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold in [0,1]");
+        SdnController {
+            utilization: HashMap::new(),
+            last_bytes: HashMap::new(),
+            last_at: SimTime::ZERO,
+            threshold,
+            observations: 0,
+        }
+    }
+
+    /// Snapshot the fabric: compute each link's utilization over the
+    /// window since the previous call.
+    pub fn observe(&mut self, fabric: &Fabric, now: SimTime) {
+        let dt = now.saturating_since(self.last_at).as_secs_f64();
+        if dt <= 0.0 {
+            return;
+        }
+        for link in fabric.topology.links() {
+            let id = link.id();
+            let bytes = link.stats().tx_bytes;
+            let prev = self.last_bytes.get(&id).copied().unwrap_or(0);
+            let util = ((bytes - prev) as f64 * 8.0) / (link.rate_bps() as f64 * dt);
+            self.utilization.insert(id, util.min(1.0));
+            self.last_bytes.insert(id, bytes);
+        }
+        self.last_at = now;
+        self.observations += 1;
+    }
+
+    /// Latest windowed utilization of a link (0 if never observed).
+    pub fn utilization(&self, link: meshlayer_netsim::LinkId) -> f64 {
+        self.utilization.get(&link).copied().unwrap_or(0.0)
+    }
+
+    /// Whether either of a pod's access links is congested.
+    pub fn pod_congested(&self, fabric: &Fabric, pod: PodId) -> bool {
+        let up = self.utilization(fabric.uplink(pod));
+        let down = self.utilization(fabric.downlink(pod));
+        up > self.threshold || down > self.threshold
+    }
+
+    /// Filter `candidates` down to pods with uncongested access links;
+    /// if everything is congested, return the input unchanged (the mesh
+    /// must still route somewhere — same panic-mode rule as outlier
+    /// ejection).
+    pub fn uncongested(&self, fabric: &Fabric, candidates: &[PodId]) -> Vec<PodId> {
+        if self.observations == 0 {
+            return candidates.to_vec();
+        }
+        let ok: Vec<PodId> = candidates
+            .iter()
+            .copied()
+            .filter(|&p| !self.pod_congested(fabric, p))
+            .collect();
+        if ok.is_empty() {
+            candidates.to_vec()
+        } else {
+            ok
+        }
+    }
+
+    /// Number of observation windows completed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netplan::NetworkPlan;
+    use meshlayer_cluster::{Cluster, ServiceBehavior, ServiceSpec};
+    use meshlayer_netsim::{ClassId, NodeId, Packet};
+    use meshlayer_simcore::{SimDuration, SimTime};
+
+    fn fabric_with_two_pods() -> (Cluster, Fabric) {
+        let mut c = Cluster::new(&["n"], 8);
+        c.deploy(ServiceSpec::new("svc", 2, ServiceBehavior::respond(1.0)));
+        let plan = NetworkPlan {
+            default_rate_bps: 1_000_000, // 1 Mbps: easy to congest
+            ..NetworkPlan::default()
+        };
+        let f = Fabric::build(&c, &plan);
+        (c, f)
+    }
+
+    /// Push `n` packets through a pod's uplink between t0 and t1.
+    fn busy_uplink(fabric: &mut Fabric, pod: PodId, n: u32, mut now: SimTime) {
+        let link_id = fabric.uplink(pod);
+        let link = fabric.topology.link_mut(link_id);
+        for i in 0..n {
+            let p = Packet::data(i as u64, NodeId(0), NodeId(1), 1, 0, 934, 0);
+            let (out, _) = link.offer(p, now);
+            if let meshlayer_netsim::LinkOutcome::Busy { done_at } = out {
+                now = done_at;
+                link.on_tx_done(now);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_congested_uplink() {
+        let (c, mut f) = fabric_with_two_pods();
+        let pods = c.endpoints("svc", None);
+        let mut sdn = SdnController::new(0.5);
+        sdn.observe(&f, SimTime::ZERO);
+        // Saturate pod 0's uplink for ~1 s of link time (125 packets).
+        busy_uplink(&mut f, pods[0], 120, SimTime::ZERO);
+        sdn.observe(&f, SimTime::from_secs(1));
+        assert!(sdn.pod_congested(&f, pods[0]));
+        assert!(!sdn.pod_congested(&f, pods[1]));
+        let filtered = sdn.uncongested(&f, &pods);
+        assert_eq!(filtered, vec![pods[1]]);
+    }
+
+    #[test]
+    fn no_observations_means_no_filtering() {
+        let (c, f) = fabric_with_two_pods();
+        let pods = c.endpoints("svc", None);
+        let sdn = SdnController::new(0.5);
+        assert_eq!(sdn.uncongested(&f, &pods), pods);
+    }
+
+    #[test]
+    fn all_congested_panic_mode() {
+        let (c, mut f) = fabric_with_two_pods();
+        let pods = c.endpoints("svc", None);
+        let mut sdn = SdnController::new(0.5);
+        sdn.observe(&f, SimTime::ZERO);
+        for &p in &pods {
+            busy_uplink(&mut f, p, 120, SimTime::ZERO);
+        }
+        sdn.observe(&f, SimTime::from_secs(1));
+        assert_eq!(sdn.uncongested(&f, &pods), pods, "panic mode keeps all");
+    }
+
+    #[test]
+    fn utilization_is_windowed_not_lifetime() {
+        let (c, mut f) = fabric_with_two_pods();
+        let pods = c.endpoints("svc", None);
+        let mut sdn = SdnController::new(0.5);
+        sdn.observe(&f, SimTime::ZERO);
+        busy_uplink(&mut f, pods[0], 120, SimTime::ZERO);
+        sdn.observe(&f, SimTime::from_secs(1));
+        assert!(sdn.pod_congested(&f, pods[0]));
+        // An idle window clears the flag even though lifetime bytes remain.
+        sdn.observe(&f, SimTime::from_secs(1) + SimDuration::from_secs(1));
+        assert!(!sdn.pod_congested(&f, pods[0]));
+        // The t=0 observe is a no-op (zero-length window): 2 windows total.
+        assert_eq!(sdn.observations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        SdnController::new(1.5);
+    }
+
+    #[test]
+    fn unknown_link_is_idle() {
+        let sdn = SdnController::new(0.5);
+        assert_eq!(sdn.utilization(meshlayer_netsim::LinkId(99)), 0.0);
+        let _ = ClassId(0);
+    }
+}

@@ -1,0 +1,261 @@
+//! The event loop and the network/transport plumbing.
+
+use super::{Ev, MsgInFlight, Simulation};
+use meshlayer_netsim::{LinkId, LinkOutcome, NodeId, Packet};
+use meshlayer_simcore::SimTime;
+use meshlayer_transport::ConnOutput;
+
+impl Simulation {
+    /// Run to completion: seed the workload arrivals, drain events until
+    /// the configured duration elapses, then collect metrics.
+    pub fn run(&mut self) -> crate::metrics::RunMetrics {
+        for gen in 0..self.gens.len() {
+            let at = self.gens[gen].next_at();
+            if at < self.end_at {
+                self.queue.push(at, Ev::Arrival { gen });
+            }
+        }
+        if self.spec.xlayer.sdn_lb {
+            let t = SimTime::ZERO + self.spec.config.sdn_tick;
+            self.queue.push(t, Ev::SdnTick);
+        }
+        {
+            let t = SimTime::ZERO + self.spec.config.control_tick;
+            self.queue.push(t, Ev::ControlTick);
+        }
+        let mut processed: u64 = 0;
+        // Generous runaway guard: the densest expected runs are tens of
+        // millions of events; a run hitting this bound is a driver bug.
+        let max_events: u64 = 2_000_000_000;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.end_at {
+                break;
+            }
+            self.handle(ev, t);
+            processed += 1;
+            assert!(processed < max_events, "event-loop runaway");
+        }
+        crate::metrics::RunMetrics::collect(self, processed)
+    }
+
+    fn handle(&mut self, ev: Ev, now: SimTime) {
+        match ev {
+            Ev::Arrival { gen } => self.on_arrival(gen, now),
+            Ev::LinkTx { link } => self.on_link_tx(link, now),
+            Ev::LinkKick { link } => self.on_link_kick(link, now),
+            Ev::PktArrive { pkt, node } => self.on_pkt_arrive(pkt, node, now),
+            Ev::ConnTimer { conn, dir, gen } => self.on_conn_timer(conn, dir, gen, now),
+            Ev::SendMsg {
+                conn,
+                dir,
+                msg,
+                bytes,
+            } => self.on_send_msg(conn, dir, msg, bytes, now),
+            Ev::ExecStart { exec } => self.on_exec_start(exec, now),
+            Ev::ComputeDone { pod, token } => self.on_compute_done(pod, token, now),
+            Ev::AttemptResponse {
+                rpc,
+                attempt,
+                status,
+            } => self.on_attempt_response(rpc, attempt, status, now),
+            Ev::PerTryTimeout { rpc, attempt } => self.on_per_try_timeout(rpc, attempt, now),
+            Ev::RpcTimeout { rpc } => self.on_rpc_timeout(rpc, now),
+            Ev::RetryFire { rpc } => self.on_retry_fire(rpc, now),
+            Ev::HedgeFire { rpc, attempt } => self.on_hedge_fire(rpc, attempt, now),
+            Ev::SdnTick => self.on_sdn_tick(now),
+            Ev::ControlTick => self.on_control_tick(now),
+        }
+    }
+
+    /// §3.5: the SDN controller snapshots link utilization out-of-band.
+    fn on_sdn_tick(&mut self, now: SimTime) {
+        self.sdn.observe(&self.fabric, now);
+        let next = now + self.spec.config.sdn_tick;
+        if next < self.end_at {
+            self.queue.push(next, Ev::SdnTick);
+        }
+    }
+
+    /// Fig 1's housekeeping loop: sidecars report telemetry to the control
+    /// plane; the CA rotates certificates nearing expiry.
+    fn on_control_tick(&mut self, now: SimTime) {
+        let mut pods: Vec<_> = self.sidecars.keys().copied().collect();
+        pods.sort();
+        for pod in pods {
+            let (name, stats) = {
+                let sc = &self.sidecars[&pod];
+                (sc.name().to_string(), sc.stats().clone())
+            };
+            self.control.report_telemetry(&name, stats);
+        }
+        self.control
+            .rotate_expiring(now, meshlayer_simcore::SimDuration::from_secs(3600));
+        let next = now + self.spec.config.control_tick;
+        if next < self.end_at {
+            self.queue.push(next, Ev::ControlTick);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Links and packets
+    // -----------------------------------------------------------------
+
+    /// Act on a link's reported outcome.
+    fn apply_link_outcome(&mut self, link: LinkId, outcome: LinkOutcome) {
+        match outcome {
+            LinkOutcome::Busy { done_at } => self.queue.push(done_at, Ev::LinkTx { link }),
+            LinkOutcome::KickAt { at } => self.queue.push(at, Ev::LinkKick { link }),
+            LinkOutcome::Idle => {}
+        }
+    }
+
+    /// Route `pkt` onward from `at_node` (toward `pkt.dst`).
+    pub(crate) fn route_packet(&mut self, pkt: Packet, at_node: NodeId, now: SimTime) {
+        debug_assert_ne!(at_node, pkt.dst, "deliver, don't route");
+        let Some(link_id) = self.fabric.topology.next_hop(at_node, pkt.dst) else {
+            // Unroutable packets are silently dropped (counts as loss).
+            self.stats.pkt_drops += 1;
+            return;
+        };
+        let link = self.fabric.topology.link_mut(link_id);
+        let (outcome, dropped) = link.offer(pkt, now);
+        if dropped {
+            self.stats.pkt_drops += 1;
+        }
+        self.apply_link_outcome(link_id, outcome);
+    }
+
+    fn on_link_tx(&mut self, link_id: LinkId, now: SimTime) {
+        let link = self.fabric.topology.link_mut(link_id);
+        let delay = link.delay();
+        let to = link.to();
+        let (pkt, next) = link.on_tx_done(now);
+        self.queue.push(now + delay, Ev::PktArrive { pkt, node: to });
+        self.apply_link_outcome(link_id, next);
+    }
+
+    fn on_link_kick(&mut self, link_id: LinkId, now: SimTime) {
+        let outcome = self.fabric.topology.link_mut(link_id).on_kick(now);
+        self.apply_link_outcome(link_id, outcome);
+    }
+
+    fn on_pkt_arrive(&mut self, pkt: Packet, node: NodeId, now: SimTime) {
+        if pkt.dst == node {
+            self.deliver_packet(pkt, node, now);
+        } else {
+            self.route_packet(pkt, node, now);
+        }
+    }
+
+    /// A packet reached its destination node: hand it to the right
+    /// connection endpoint and process the endpoint's output.
+    fn deliver_packet(&mut self, pkt: Packet, node: NodeId, now: SimTime) {
+        let Some(pod) = self.fabric.pod_at(node) else {
+            self.stats.pkt_drops += 1;
+            return;
+        };
+        let conn_id = pkt.conn;
+        let Some(pair) = self.conns.get_mut(&conn_id) else {
+            self.stats.pkt_drops += 1;
+            return;
+        };
+        let dir = if pair.a_pod == pod { 0u8 } else { 1u8 };
+        let endpoint = if dir == 0 { &mut pair.a } else { &mut pair.b };
+        let out = endpoint.on_packet(&pkt, now);
+        self.process_conn_output(conn_id, dir, out, now);
+    }
+
+    // -----------------------------------------------------------------
+    // Connections
+    // -----------------------------------------------------------------
+
+    fn on_conn_timer(&mut self, conn: u64, dir: u8, gen: u64, now: SimTime) {
+        let Some(pair) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let endpoint = if dir == 0 { &mut pair.a } else { &mut pair.b };
+        let out = endpoint.on_timer(gen, now);
+        self.process_conn_output(conn, dir, out, now);
+    }
+
+    fn on_send_msg(&mut self, conn: u64, dir: u8, msg: u64, bytes: u64, now: SimTime) {
+        let Some(pair) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let endpoint = if dir == 0 { &mut pair.a } else { &mut pair.b };
+        let out = endpoint.send_message(msg, bytes.max(1), now);
+        self.process_conn_output(conn, dir, out, now);
+    }
+
+    /// Inject an endpoint's packets into the fabric, schedule its timer,
+    /// and dispatch any delivered messages.
+    pub(crate) fn process_conn_output(
+        &mut self,
+        conn: u64,
+        dir: u8,
+        out: ConnOutput,
+        now: SimTime,
+    ) {
+        // Packets leave from the endpoint's node.
+        let src_node = {
+            let pair = self.conns.get(&conn).expect("conn exists");
+            if dir == 0 {
+                self.fabric.node_of(pair.a_pod)
+            } else {
+                self.fabric.node_of(pair.b_pod)
+            }
+        };
+        for pkt in out.packets {
+            self.route_packet(pkt, src_node, now);
+        }
+        if let Some((at, gen)) = out.timer {
+            let pair = self.conns.get_mut(&conn).expect("conn exists");
+            if gen > pair.scheduled_gen[dir as usize] {
+                pair.scheduled_gen[dir as usize] = gen;
+                self.queue.push(at, Ev::ConnTimer { conn, dir, gen });
+            }
+        }
+        for d in out.delivered {
+            self.on_msg_delivered(conn, dir, d.msg, now);
+        }
+    }
+
+    /// A whole message finished arriving at endpoint `(conn, dir)`.
+    fn on_msg_delivered(&mut self, conn: u64, dir: u8, msg: u64, now: SimTime) {
+        let receiver_pod = {
+            let pair = self.conns.get(&conn).expect("conn exists");
+            if dir == 0 {
+                pair.a_pod
+            } else {
+                pair.b_pod
+            }
+        };
+        match self.msg_store.remove(&msg) {
+            Some(MsgInFlight::Request { req, rpc, attempt }) => {
+                self.on_request_delivered(req, rpc, attempt, receiver_pod, conn, dir, now);
+            }
+            Some(MsgInFlight::Response { resp, rpc, attempt }) => {
+                // Client-side sidecar overhead before the caller sees it.
+                let overhead = {
+                    let sc = self
+                        .sidecars
+                        .get_mut(&receiver_pod)
+                        .expect("sidecar exists");
+                    sc.overhead()
+                };
+                let at = now + overhead + self.spec.config.app_sidecar_delay;
+                self.queue.push(
+                    at,
+                    Ev::AttemptResponse {
+                        rpc,
+                        attempt,
+                        status: resp.status,
+                    },
+                );
+            }
+            None => {
+                // Message already superseded (e.g. duplicate delivery).
+            }
+        }
+    }
+}

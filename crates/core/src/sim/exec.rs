@@ -1,0 +1,353 @@
+//! App-side execution: interpreting behaviour trees per inbound request.
+
+use super::{CompletionKey, ComputeJob, Cont, Ev, Exec, MsgInFlight, Simulation, ROOT_TOKEN};
+use crate::provenance::Priority;
+use meshlayer_cluster::{Admission, CallStep, PodId};
+use meshlayer_http::{
+    Request, Response, StatusCode, HDR_B3_TRACE_ID, HDR_PRIORITY, HDR_REQUEST_ID,
+};
+use meshlayer_simcore::SimTime;
+use std::collections::VecDeque;
+
+impl Simulation {
+    /// A fully reassembled request reached `pod`'s sidecar.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_request_delivered(
+        &mut self,
+        mut req: Request,
+        rpc: u64,
+        attempt: u32,
+        pod: PodId,
+        conn: u64,
+        dir: u8,
+        now: SimTime,
+    ) {
+        let service = self.service_of(pod);
+        let (ctx, overhead) = {
+            let sc = self.sidecars.get_mut(&pod).expect("server sidecar");
+            let ctx = sc.on_inbound(&mut req, now);
+            (ctx, sc.overhead())
+        };
+        // Sample the response size up front (deterministic per request).
+        let Some(behavior) = self.cluster.behavior(&service, &req.path).cloned() else {
+            // No handler: respond 404 immediately (still pays overhead).
+            let exec_id = self.alloc_exec();
+            self.execs.insert(
+                exec_id,
+                Exec {
+                    pod,
+                    service,
+                    req,
+                    ctx,
+                    started: now,
+                    response_bytes: 0,
+                    failed: Some(StatusCode::NOT_FOUND),
+                    conts: Default::default(),
+                    reply_conn: conn,
+                    reply_dir: dir,
+                    rpc,
+                    attempt,
+                },
+            );
+            self.finish_exec(exec_id, now + overhead);
+            return;
+        };
+        let mut rng = self.rng.split_idx("resp", self.stats.rpcs ^ rpc);
+        let response_bytes = behavior.response_bytes.sample_bytes(&mut rng);
+        let exec_id = self.alloc_exec();
+        self.execs.insert(
+            exec_id,
+            Exec {
+                pod,
+                service,
+                req,
+                ctx,
+                started: now,
+                response_bytes,
+                failed: None,
+                conts: Default::default(),
+                reply_conn: conn,
+                reply_dir: dir,
+                rpc,
+                attempt,
+            },
+        );
+        let at = now + overhead + self.spec.config.app_sidecar_delay;
+        self.queue.push(at, Ev::ExecStart { exec: exec_id });
+    }
+
+    /// Begin interpreting the behaviour tree.
+    pub(crate) fn on_exec_start(&mut self, exec_id: u64, now: SimTime) {
+        let Some(e) = self.execs.get(&exec_id) else {
+            return;
+        };
+        // Fault injection: a failing pod 500s before running its handler.
+        let failure_rate = self.cluster.pod(e.pod).failure_rate;
+        if failure_rate > 0.0 {
+            let mut rng = self.rng.split_idx("fault", exec_id);
+            if rng.chance(failure_rate) {
+                if let Some(e) = self.execs.get_mut(&exec_id) {
+                    e.failed = Some(StatusCode::INTERNAL);
+                }
+                self.finish_exec(exec_id, now);
+                return;
+            }
+        }
+        let step = self
+            .cluster
+            .behavior(&e.service, &e.req.path)
+            .map(|b| b.on_request.clone());
+        match step {
+            Some(step) => self.start_step(exec_id, step, ROOT_TOKEN, now),
+            None => self.finish_exec(exec_id, now),
+        }
+    }
+
+    /// Launch one step of the tree; completion flows to `parent` token.
+    pub(crate) fn start_step(&mut self, exec_id: u64, step: CallStep, parent: u64, now: SimTime) {
+        if !self.execs.contains_key(&exec_id) {
+            return;
+        }
+        match step {
+            CallStep::Noop => self.complete_token(exec_id, parent, now),
+            CallStep::Compute(dist) => {
+                let token = self.alloc_token();
+                let (pod, high) = {
+                    let e = self.execs.get(&exec_id).expect("exec exists");
+                    (
+                        e.pod,
+                        e.ctx.priority.as_deref() == Some(Priority::High.header_value()),
+                    )
+                };
+                self.compute_jobs.insert(
+                    token,
+                    ComputeJob {
+                        exec: exec_id,
+                        parent,
+                        dist,
+                    },
+                );
+                match self.cluster.pod_mut(pod).compute.offer(token, high) {
+                    Admission::Start => self.schedule_compute(pod, token, now),
+                    Admission::Queued => {}
+                    Admission::Rejected => {
+                        self.stats.compute_rejections += 1;
+                        self.compute_jobs.remove(&token);
+                        if let Some(e) = self.execs.get_mut(&exec_id) {
+                            e.failed = Some(StatusCode::UNAVAILABLE);
+                        }
+                        self.complete_token(exec_id, parent, now);
+                    }
+                }
+            }
+            CallStep::Call {
+                service,
+                path,
+                req_bytes,
+            } => {
+                let (request_id, pod) = {
+                    let e = self.execs.get(&exec_id).expect("exec exists");
+                    (
+                        e.req
+                            .headers
+                            .get(HDR_REQUEST_ID)
+                            .unwrap_or_default()
+                            .to_string(),
+                        e.pod,
+                    )
+                };
+                let mut rng = self.rng.split_idx("reqsize", self.stats.rpcs);
+                let body = req_bytes.sample_bytes(&mut rng);
+                // Footnote 3: the *application* copies x-request-id onto
+                // children; priority/trace are added by the sidecar in
+                // start_rpc via annotate_outbound.
+                let child = Request {
+                    method: meshlayer_http::Method::Get,
+                    path,
+                    authority: service,
+                    headers: meshlayer_http::HeaderMap::new(),
+                    body_len: body,
+                }
+                .with_header(HDR_REQUEST_ID, request_id);
+                self.start_rpc(
+                    pod,
+                    child,
+                    CompletionKey::Exec {
+                        exec: exec_id,
+                        token: parent,
+                    },
+                    now,
+                );
+            }
+            CallStep::Seq(mut steps) => {
+                if steps.is_empty() {
+                    self.complete_token(exec_id, parent, now);
+                    return;
+                }
+                let token = self.alloc_token();
+                let first = steps.remove(0);
+                let e = self.execs.get_mut(&exec_id).expect("exec exists");
+                e.conts.insert(
+                    token,
+                    Cont::Seq {
+                        rest: VecDeque::from(steps),
+                        parent,
+                    },
+                );
+                self.start_step(exec_id, first, token, now);
+            }
+            CallStep::Par(steps) => {
+                if steps.is_empty() {
+                    self.complete_token(exec_id, parent, now);
+                    return;
+                }
+                let token = self.alloc_token();
+                let e = self.execs.get_mut(&exec_id).expect("exec exists");
+                e.conts.insert(
+                    token,
+                    Cont::Par {
+                        remaining: steps.len(),
+                        parent,
+                    },
+                );
+                for s in steps {
+                    self.start_step(exec_id, s, token, now);
+                }
+            }
+        }
+    }
+
+    /// One child of `token` completed.
+    pub(crate) fn complete_token(&mut self, exec_id: u64, token: u64, now: SimTime) {
+        if !self.execs.contains_key(&exec_id) {
+            return;
+        }
+        if token == ROOT_TOKEN {
+            self.finish_exec(exec_id, now);
+            return;
+        }
+        let cont = {
+            let e = self.execs.get_mut(&exec_id).expect("exec exists");
+            e.conts.remove(&token)
+        };
+        match cont {
+            Some(Cont::Seq { mut rest, parent }) => match rest.pop_front() {
+                Some(next) => {
+                    let e = self.execs.get_mut(&exec_id).expect("exec exists");
+                    e.conts.insert(token, Cont::Seq { rest, parent });
+                    self.start_step(exec_id, next, token, now);
+                }
+                None => self.complete_token(exec_id, parent, now),
+            },
+            Some(Cont::Par { remaining, parent }) => {
+                if remaining <= 1 {
+                    self.complete_token(exec_id, parent, now);
+                } else {
+                    let e = self.execs.get_mut(&exec_id).expect("exec exists");
+                    e.conts.insert(
+                        token,
+                        Cont::Par {
+                            remaining: remaining - 1,
+                            parent,
+                        },
+                    );
+                }
+            }
+            None => {
+                debug_assert!(false, "completion for unknown token {token}");
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Compute
+    // -----------------------------------------------------------------
+
+    /// Sample a just-started job's service time and schedule completion.
+    fn schedule_compute(&mut self, pod: PodId, token: u64, now: SimTime) {
+        let dist = self
+            .compute_jobs
+            .get(&token)
+            .expect("job exists")
+            .dist
+            .clone();
+        let mut rng = self.rng.split_idx("svc", token);
+        // Slow replicas stretch their service times (straggler modelling).
+        let factor = self.cluster.pod(pod).speed_factor;
+        let dt = dist.sample_duration(&mut rng).mul_f64(factor.max(0.0));
+        self.queue.push(now + dt, Ev::ComputeDone { pod, token });
+    }
+
+    pub(crate) fn on_compute_done(&mut self, pod: PodId, token: u64, now: SimTime) {
+        if let Some(job) = self.compute_jobs.remove(&token) {
+            self.complete_token(job.exec, job.parent, now);
+        }
+        // Start the next queued job, if any.
+        if let Some(next) = self.cluster.pod_mut(pod).compute.on_complete() {
+            self.schedule_compute(pod, next, now);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Responding
+    // -----------------------------------------------------------------
+
+    /// The behaviour tree finished (or failed): emit the response back
+    /// over the connection the request arrived on.
+    pub(crate) fn finish_exec(&mut self, exec_id: u64, now: SimTime) {
+        let Some(e) = self.execs.remove(&exec_id) else {
+            return;
+        };
+        let status = e.failed.unwrap_or(StatusCode::OK);
+        let request_id = e
+            .req
+            .headers
+            .get(HDR_REQUEST_ID)
+            .unwrap_or_default()
+            .to_string();
+        // Server span + provenance cleanup.
+        let overhead = {
+            let sc = self.sidecars.get_mut(&e.pod).expect("server sidecar");
+            if e.ctx.sampled {
+                let span = sc.server_span(&e.ctx, e.ctx.parent, e.started, now, status);
+                self.tracer.record(span);
+            }
+            sc.end_inbound(&request_id);
+            sc.overhead()
+        };
+        let mut resp = Response {
+            status,
+            headers: meshlayer_http::HeaderMap::new(),
+            body_len: if status.is_success() {
+                e.response_bytes
+            } else {
+                0
+            },
+        };
+        resp.headers.set(HDR_REQUEST_ID, request_id);
+        if let Some(p) = &e.ctx.priority {
+            resp.headers.set(HDR_PRIORITY, p.clone());
+        }
+        resp.headers.set(HDR_B3_TRACE_ID, e.ctx.trace.0.to_string());
+        let wire = resp.wire_size();
+        let msg = self.alloc_msg();
+        self.msg_store.insert(
+            msg,
+            MsgInFlight::Response {
+                resp,
+                rpc: e.rpc,
+                attempt: e.attempt,
+            },
+        );
+        let at = now + overhead + self.spec.config.app_sidecar_delay;
+        self.queue.push(
+            at,
+            Ev::SendMsg {
+                conn: e.reply_conn,
+                dir: e.reply_dir,
+                msg,
+                bytes: wire,
+            },
+        );
+    }
+}

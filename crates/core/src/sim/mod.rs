@@ -1,0 +1,581 @@
+//! The end-to-end simulation: every substrate wired together.
+//!
+//! [`Simulation`] owns the cluster, the mesh (sidecars + control plane),
+//! the network fabric, the transport connections, the workload generators
+//! and the measurement machinery, and advances them through one
+//! deterministic event loop. The request lifecycle it implements is the
+//! paper's Fig 3:
+//!
+//! 1. an external request arrives at the ingress gateway (stage 1–2),
+//!    where the [`crate::provenance::Classifier`] stamps its priority;
+//! 2. sidecars route it through the service graph, each app spawning
+//!    child requests per its behaviour tree (stage 3–4), with priority
+//!    propagated via `x-request-id` correlation;
+//! 3. every message crosses the packet network through per-priority
+//!    transport connections, contending at link qdiscs — where the
+//!    cross-layer TC rules act;
+//! 4. responses propagate back and the recorder measures end-to-end
+//!    latency from the intended send time.
+
+mod engine;
+mod exec;
+mod rpc;
+
+use crate::netplan::{Fabric, NetworkPlan};
+use crate::provenance::{Classifier, Priority};
+use crate::xlayer::{self, XLayerConfig};
+use meshlayer_cluster::{Cluster, PodId, ServiceSpec};
+use meshlayer_http::{Request, Response, RouteRule, StatusCode};
+use meshlayer_mesh::{ControlPlane, InboundCtx, MeshConfig, Sidecar, Tracer};
+use meshlayer_netsim::{LinkId, NodeId, Packet};
+use meshlayer_simcore::{Dist, EventQueue, SimDuration, SimRng, SimTime};
+use meshlayer_transport::{CcAlgo, Conn, ConnConfig, MuxPolicy};
+use meshlayer_workload::{OpenLoopGen, Recorder, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Scalar knobs of a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Root RNG seed; a run is a pure function of `(spec, seed)`.
+    pub seed: u64,
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Warm-up excluded from measurement.
+    pub warmup: SimDuration,
+    /// Cool-down excluded from measurement.
+    pub cooldown: SimDuration,
+    /// One crossing of the app↔sidecar localhost boundary.
+    pub app_sidecar_delay: SimDuration,
+    /// Message multiplexing on sidecar connections.
+    pub mux: MuxPolicy,
+    /// Congestion control for non-scavenger connections.
+    pub default_cc: CcAlgo,
+    /// Number of cluster nodes (hosts). The paper uses one 32-core server.
+    pub nodes: usize,
+    /// Pod capacity per node.
+    pub pods_per_node: u32,
+    /// Transport connections per (pod pair, priority class) — Envoy-style
+    /// upstream connection pooling. Messages rotate across the pool.
+    pub conns_per_pair: usize,
+    /// SDN controller observation period (only active with
+    /// [`crate::XLayerConfig::sdn_lb`]).
+    pub sdn_tick: SimDuration,
+    /// Control-plane housekeeping period: telemetry reports + certificate
+    /// rotation.
+    pub control_tick: SimDuration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            duration: SimDuration::from_secs(30),
+            warmup: SimDuration::from_secs(5),
+            cooldown: SimDuration::from_secs(2),
+            app_sidecar_delay: SimDuration::from_micros(30),
+            // Envoy-style HTTP/2 multiplexing on upstream connections:
+            // concurrent messages interleave rather than queue FIFO.
+            mux: MuxPolicy::RoundRobin,
+            default_cc: CcAlgo::Cubic,
+            nodes: 1,
+            pods_per_node: 64,
+            conns_per_pair: 4,
+            sdn_tick: SimDuration::from_millis(50),
+            control_tick: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Everything needed to build a [`Simulation`].
+#[derive(Clone)]
+pub struct SimSpec {
+    /// Services to deploy (the application).
+    pub services: Vec<ServiceSpec>,
+    /// Link plan.
+    pub network: NetworkPlan,
+    /// Workloads hitting the ingress.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Ingress classification rules.
+    pub classifier: Classifier,
+    /// Cross-layer optimization toggles.
+    pub xlayer: XLayerConfig,
+    /// Scalar knobs.
+    pub config: SimConfig,
+    /// Base mesh configuration (routes are filled in by the builder).
+    pub mesh: MeshConfig,
+}
+
+impl SimSpec {
+    /// A spec with default network/mesh/config for the given app and
+    /// workloads.
+    pub fn new(services: Vec<ServiceSpec>, workloads: Vec<WorkloadSpec>) -> SimSpec {
+        SimSpec {
+            services,
+            network: NetworkPlan::default(),
+            workloads,
+            classifier: Classifier::new(),
+            xlayer: XLayerConfig::baseline(),
+            config: SimConfig::default(),
+            mesh: MeshConfig::default(),
+        }
+    }
+}
+
+/// The service name used for the ingress gateway pod.
+pub const INGRESS_SERVICE: &str = "ingress-gateway";
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// The simulation's event alphabet.
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// Workload generator `gen` emits its next request.
+    Arrival { gen: usize },
+    /// A link finished serializing its in-flight packet.
+    LinkTx { link: LinkId },
+    /// A shaped link should retry dequeueing.
+    LinkKick { link: LinkId },
+    /// A packet arrives at a node after propagation.
+    PktArrive { pkt: Packet, node: NodeId },
+    /// A connection's RTO timer fires.
+    ConnTimer { conn: u64, dir: u8, gen: u64 },
+    /// Hand a message to a connection endpoint (after sidecar overhead).
+    SendMsg { conn: u64, dir: u8, msg: u64, bytes: u64 },
+    /// Start interpreting an inbound request's behaviour tree.
+    ExecStart { exec: u64 },
+    /// A compute job finished on a pod.
+    ComputeDone { pod: PodId, token: u64 },
+    /// A response reached the calling sidecar (post-overhead).
+    AttemptResponse { rpc: u64, attempt: u32, status: StatusCode },
+    /// Per-attempt timeout.
+    PerTryTimeout { rpc: u64, attempt: u32 },
+    /// Whole-request timeout.
+    RpcTimeout { rpc: u64 },
+    /// A scheduled retry fires.
+    RetryFire { rpc: u64 },
+    /// A hedge delay elapsed: consider duplicating the attempt.
+    HedgeFire { rpc: u64, attempt: u32 },
+    /// SDN controller takes a link-utilization snapshot (§3.5).
+    SdnTick,
+    /// Control plane housekeeping: telemetry collection, cert rotation.
+    ControlTick,
+}
+
+// ---------------------------------------------------------------------------
+// In-flight bookkeeping
+// ---------------------------------------------------------------------------
+
+/// A message travelling through the transport.
+pub(crate) enum MsgInFlight {
+    /// A request on its way to `rpc`'s chosen endpoint.
+    Request {
+        /// The request (headers already annotated).
+        req: Request,
+        /// Owning RPC.
+        rpc: u64,
+        /// Attempt number.
+        attempt: u32,
+    },
+    /// A response on its way back to the caller.
+    Response {
+        /// The response.
+        resp: Response,
+        /// Owning RPC.
+        rpc: u64,
+        /// Attempt it answers.
+        attempt: u32,
+    },
+}
+
+/// Who gets notified when an RPC completes.
+#[derive(Clone, Debug)]
+pub(crate) enum CompletionKey {
+    /// A root (external) request from workload generator `class`.
+    Root {
+        class: String,
+        intended_at: SimTime,
+        request_id: String,
+    },
+    /// A `Call` step inside an app execution.
+    Exec { exec: u64, token: u64 },
+}
+
+/// One attempt of an RPC (initial, retry, or hedge).
+pub(crate) struct AttemptState {
+    pub pod: PodId,
+    pub sent: SimTime,
+    pub done: bool,
+}
+
+/// One logical RPC: a request to a service plus its attempts (retries are
+/// sequential, hedges concurrent) and eventual completion.
+pub(crate) struct Rpc {
+    pub caller: PodId,
+    pub cluster: String,
+    pub req: Request,
+    pub completion: CompletionKey,
+    pub priority: Priority,
+    pub attempts: Vec<AttemptState>,
+    pub pool_size: usize,
+    pub completed: bool,
+}
+
+impl Rpc {
+    /// Attempts still awaiting a response.
+    pub fn live_attempts(&self) -> usize {
+        self.attempts.iter().filter(|a| !a.done).count()
+    }
+}
+
+/// Continuation node of a behaviour-tree execution.
+pub(crate) enum Cont {
+    Seq {
+        rest: std::collections::VecDeque<meshlayer_cluster::CallStep>,
+        parent: u64,
+    },
+    Par {
+        remaining: usize,
+        parent: u64,
+    },
+}
+
+/// Token identifying "the whole request" continuation.
+pub(crate) const ROOT_TOKEN: u64 = 0;
+
+/// One inbound request being handled by an app instance.
+pub(crate) struct Exec {
+    pub pod: PodId,
+    pub service: String,
+    pub req: Request,
+    pub ctx: InboundCtx,
+    pub started: SimTime,
+    pub response_bytes: u64,
+    pub failed: Option<StatusCode>,
+    pub conts: HashMap<u64, Cont>,
+    /// Reply path: the connection/direction the request arrived on.
+    pub reply_conn: u64,
+    pub reply_dir: u8,
+    pub rpc: u64,
+    pub attempt: u32,
+}
+
+/// A queued or running compute step.
+pub(crate) struct ComputeJob {
+    pub exec: u64,
+    pub parent: u64,
+    pub dist: Dist,
+}
+
+/// A transport connection pair (both endpoints).
+pub(crate) struct ConnPair {
+    pub a_pod: PodId,
+    pub b_pod: PodId,
+    pub a: Conn,
+    pub b: Conn,
+    /// Highest timer generation already scheduled, per direction.
+    pub scheduled_gen: [u64; 2],
+}
+
+/// Aggregate counters the run reports (see [`crate::metrics::RunMetrics`]).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct WorldStats {
+    /// Root requests injected.
+    pub roots_started: u64,
+    /// Root requests completed successfully.
+    pub roots_ok: u64,
+    /// Root requests failed (error status or timeout).
+    pub roots_failed: u64,
+    /// RPCs started (all levels).
+    pub rpcs: u64,
+    /// RPC attempts that timed out.
+    pub attempt_timeouts: u64,
+    /// Compute jobs rejected by full pod queues.
+    pub compute_rejections: u64,
+    /// Hedge (redundant) attempts issued.
+    pub hedges: u64,
+    /// Packets dropped at link queues.
+    pub pkt_drops: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The simulation
+// ---------------------------------------------------------------------------
+
+/// The fully wired world (see module docs).
+pub struct Simulation {
+    pub(crate) spec: SimSpec,
+    pub(crate) cluster: Cluster,
+    pub(crate) fabric: Fabric,
+    pub(crate) control: ControlPlane,
+    pub(crate) sidecars: HashMap<PodId, Sidecar>,
+    pub(crate) ingress_pod: PodId,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) conn_ids: HashMap<(PodId, PodId, u8, usize), u64>,
+    pub(crate) pool_cursor: HashMap<(PodId, PodId, u8), usize>,
+    pub(crate) conns: HashMap<u64, ConnPair>,
+    pub(crate) msg_store: HashMap<u64, MsgInFlight>,
+    pub(crate) rpcs: HashMap<u64, Rpc>,
+    pub(crate) execs: HashMap<u64, Exec>,
+    pub(crate) compute_jobs: HashMap<u64, ComputeJob>,
+    pub(crate) gens: Vec<OpenLoopGen>,
+    pub(crate) sdn: crate::sdn::SdnController,
+    pub(crate) recorder: Recorder,
+    pub(crate) tracer: Tracer,
+    pub(crate) rng: SimRng,
+    pub(crate) stats: WorldStats,
+    pub(crate) end_at: SimTime,
+    next_conn: u64,
+    next_msg: u64,
+    next_rpc: u64,
+    next_exec: u64,
+    next_token: u64,
+}
+
+impl Simulation {
+    /// Build the world from a spec: deploy the cluster (ingress gateway
+    /// first, then the app), wire the mesh, build the fabric, install the
+    /// enabled cross-layer optimizations, and prime the workload
+    /// generators.
+    pub fn build(spec: SimSpec) -> Simulation {
+        let rng = SimRng::new(spec.config.seed);
+        let node_names: Vec<String> = (0..spec.config.nodes).map(|i| format!("node{i}")).collect();
+        let node_refs: Vec<&str> = node_names.iter().map(String::as_str).collect();
+        let mut cluster = Cluster::new(&node_refs, spec.config.pods_per_node);
+
+        // The ingress gateway is itself a pod with a sidecar (stage 1).
+        let ingress_spec = ServiceSpec::new(
+            INGRESS_SERVICE,
+            1,
+            meshlayer_cluster::ServiceBehavior::respond(0.0),
+        );
+        cluster.deploy(ingress_spec);
+        let ingress_pod = cluster.endpoints(INGRESS_SERVICE, None)[0];
+        for svc in &spec.services {
+            cluster.deploy(svc.clone());
+        }
+
+        // Mesh config: passthrough route per service, then priority routes.
+        let mut mesh = spec.mesh.clone();
+        for svc in &spec.services {
+            mesh.routes.push(RouteRule::passthrough(svc.name.clone()));
+        }
+        if spec.xlayer.mesh_subset_routing {
+            xlayer::install_priority_routes(&mut mesh.routes, &cluster);
+        }
+        // Compute priority-awareness is a pod-level switch.
+        if spec.xlayer.compute_prio {
+            for pod in 0..cluster.pod_count() {
+                let pod = PodId(pod as u32);
+                let cfg = {
+                    let sid = cluster.pod(pod).service;
+                    let mut c = cluster.spec(sid).compute.clone();
+                    c.priority_aware = true;
+                    c
+                };
+                cluster.pod_mut(pod).compute = meshlayer_cluster::PodCompute::new(cfg);
+            }
+        }
+
+        let mut control = ControlPlane::new(mesh.clone());
+        let mut sidecars = HashMap::new();
+        let pod_list: Vec<(PodId, String, String)> = cluster
+            .pods()
+            .map(|p| {
+                (
+                    p.id,
+                    p.name.clone(),
+                    p.labels.get("app").cloned().unwrap_or_default(),
+                )
+            })
+            .collect();
+        for (pid, name, service) in pod_list {
+            let sc_rng = rng.split_idx("sidecar", pid.0 as u64);
+            sidecars.insert(pid, Sidecar::new(name, service.clone(), mesh.clone(), sc_rng));
+            control.issue_cert(pid, &service, SimTime::ZERO);
+        }
+
+        // Fabric + cross-layer network programming.
+        let mut fabric = Fabric::build(&cluster, &spec.network);
+        if spec.xlayer.host_tc {
+            xlayer::install_host_tc(&mut fabric, &cluster, spec.network.queue_pkts, SimTime::ZERO);
+        }
+        if spec.xlayer.net_prio {
+            xlayer::install_net_prio(&mut fabric, &cluster, spec.network.queue_pkts, SimTime::ZERO);
+        }
+
+        let gens: Vec<OpenLoopGen> = spec
+            .workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| OpenLoopGen::new(w.clone(), SimTime::ZERO, rng.split_idx("workload", i as u64)))
+            .collect();
+
+        let end_at = SimTime::ZERO + spec.config.duration;
+        let window_start = SimTime::ZERO + spec.config.warmup;
+        let window_end = end_at
+            .saturating_since(SimTime::ZERO + spec.config.cooldown)
+            .as_nanos();
+        let recorder = Recorder::new(window_start, SimTime::from_nanos(window_end.max(window_start.as_nanos() + 1)));
+
+        Simulation {
+            spec,
+            cluster,
+            fabric,
+            control,
+            sidecars,
+            ingress_pod,
+            queue: EventQueue::new(),
+            conn_ids: HashMap::new(),
+            pool_cursor: HashMap::new(),
+            conns: HashMap::new(),
+            msg_store: HashMap::new(),
+            rpcs: HashMap::new(),
+            execs: HashMap::new(),
+            compute_jobs: HashMap::new(),
+            gens,
+            sdn: crate::sdn::SdnController::new(0.7),
+            recorder,
+            tracer: Tracer::new(100_000),
+            rng: rng.split("world"),
+            stats: WorldStats::default(),
+            end_at,
+            next_conn: 1,
+            next_msg: 1,
+            next_rpc: 1,
+            next_exec: 1,
+            next_token: 1,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The deployed cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access, for pre-run adjustments (e.g. marking a
+    /// replica as a straggler via [`meshlayer_cluster::Pod::speed_factor`]).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// The network fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The control plane.
+    pub fn control(&self) -> &ControlPlane {
+        &self.control
+    }
+
+    /// The trace collector.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The SDN controller (§3.5 coordination).
+    pub fn sdn(&self) -> &crate::sdn::SdnController {
+        &self.sdn
+    }
+
+    /// The latency recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &WorldStats {
+        &self.stats
+    }
+
+    pub(crate) fn alloc_msg(&mut self) -> u64 {
+        let id = self.next_msg;
+        self.next_msg += 1;
+        id
+    }
+
+    pub(crate) fn alloc_rpc(&mut self) -> u64 {
+        let id = self.next_rpc;
+        self.next_rpc += 1;
+        id
+    }
+
+    pub(crate) fn alloc_exec(&mut self) -> u64 {
+        let id = self.next_exec;
+        self.next_exec += 1;
+        id
+    }
+
+    pub(crate) fn alloc_token(&mut self) -> u64 {
+        let id = self.next_token;
+        self.next_token += 1;
+        id
+    }
+
+    /// Resolve (or create) the connection pair between two pods for a
+    /// transport class, returning `(conn id, direction for x)`.
+    pub(crate) fn conn_for(&mut self, x: PodId, y: PodId, priority: Priority) -> (u64, u8) {
+        let (class, dscp, cc) = self
+            .spec
+            .xlayer
+            .transport_class(priority, self.spec.config.default_cc);
+        let (a, b) = if x.0 <= y.0 { (x, y) } else { (y, x) };
+        // Rotate across the connection pool for this pair+class.
+        let pool = self.spec.config.conns_per_pair.max(1);
+        let cursor = self.pool_cursor.entry((a, b, class)).or_insert(0);
+        let slot = *cursor % pool;
+        *cursor += 1;
+        let key = (a, b, class, slot);
+        let id = match self.conn_ids.get(&key) {
+            Some(&id) => id,
+            None => {
+                let id = self.next_conn;
+                self.next_conn += 1;
+                self.conn_ids.insert(key, id);
+                let mk_cfg = |src: PodId, dst: PodId, cluster: &Cluster| ConnConfig {
+                    dscp,
+                    cc,
+                    mux: self.spec.config.mux,
+                    src_ip: cluster.pod(src).ip,
+                    dst_ip: cluster.pod(dst).ip,
+                    ..ConnConfig::default()
+                };
+                let cfg_a = mk_cfg(a, b, &self.cluster);
+                let cfg_b = mk_cfg(b, a, &self.cluster);
+                let conn_a = Conn::new(id, 0, self.fabric.node_of(a), self.fabric.node_of(b), cfg_a);
+                let conn_b = Conn::new(id, 1, self.fabric.node_of(b), self.fabric.node_of(a), cfg_b);
+                self.conns.insert(
+                    id,
+                    ConnPair {
+                        a_pod: a,
+                        b_pod: b,
+                        a: conn_a,
+                        b: conn_b,
+                        scheduled_gen: [0, 0],
+                    },
+                );
+                id
+            }
+        };
+        let dir = if x == a { 0 } else { 1 };
+        (id, dir)
+    }
+
+    /// The service name a pod belongs to.
+    pub(crate) fn service_of(&self, pod: PodId) -> String {
+        self.cluster
+            .pod(pod)
+            .labels
+            .get("app")
+            .cloned()
+            .unwrap_or_default()
+    }
+}

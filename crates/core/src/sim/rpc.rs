@@ -1,0 +1,456 @@
+//! RPC lifecycle: routing, attempts (retries + hedges), timeouts,
+//! completion.
+
+use super::{AttemptState, CompletionKey, Ev, MsgInFlight, Rpc, Simulation};
+use crate::provenance::request_priority;
+use meshlayer_http::{Request, StatusCode, HDR_REQUEST_ID};
+use meshlayer_mesh::{AttemptFailure, RouteOutcome};
+use meshlayer_simcore::SimTime;
+
+impl Simulation {
+    // -----------------------------------------------------------------
+    // Arrivals (root requests)
+    // -----------------------------------------------------------------
+
+    pub(crate) fn on_arrival(&mut self, gen: usize, now: SimTime) {
+        let gr = self.gens[gen].emit();
+        // Schedule the next arrival of this generator.
+        let next = self.gens[gen].next_at();
+        if next < self.end_at {
+            self.queue.push(next, Ev::Arrival { gen });
+        }
+        let mut req = gr.request;
+        // §4.3 step 1: classify at the ingress and stamp the header.
+        if self.spec.xlayer.classify {
+            let classifier = self.spec.classifier.clone();
+            classifier.stamp(&mut req);
+        }
+        // The ingress sidecar mints x-request-id and records provenance.
+        let ingress = self.ingress_pod;
+        {
+            let sc = self.sidecars.get_mut(&ingress).expect("ingress sidecar");
+            sc.on_inbound(&mut req, now);
+        }
+        let request_id = req
+            .headers
+            .get(HDR_REQUEST_ID)
+            .expect("minted by on_inbound")
+            .to_string();
+        self.stats.roots_started += 1;
+        self.start_rpc(
+            ingress,
+            req,
+            CompletionKey::Root {
+                class: gr.class,
+                intended_at: gr.intended_at,
+                request_id,
+            },
+            now,
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // RPC start / attempts
+    // -----------------------------------------------------------------
+
+    /// Start an RPC from `caller`'s sidecar. The request must already
+    /// carry its `x-request-id`; this annotates provenance, routes, and
+    /// launches attempt 0 (or fails fast).
+    pub(crate) fn start_rpc(
+        &mut self,
+        caller: meshlayer_cluster::PodId,
+        mut req: Request,
+        completion: CompletionKey,
+        now: SimTime,
+    ) {
+        self.stats.rpcs += 1;
+        let decision = {
+            let cluster = &self.cluster;
+            let fabric = &self.fabric;
+            let sdn = &self.sdn;
+            let sdn_lb = self.spec.xlayer.sdn_lb;
+            let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+            // §4.3 step 2: copy priority/trace onto the child request.
+            sc.annotate_outbound(&mut req);
+            sc.route_outbound(
+                &req,
+                &|c, s| {
+                    let eps = cluster.endpoints(c, s);
+                    if sdn_lb {
+                        sdn.uncongested(fabric, &eps)
+                    } else {
+                        eps
+                    }
+                },
+                now,
+            )
+        };
+        let priority = request_priority(&req);
+        let rpc_id = self.alloc_rpc();
+        match decision {
+            RouteOutcome::FailFast(status) => {
+                self.rpcs.insert(
+                    rpc_id,
+                    Rpc {
+                        caller,
+                        cluster: req.authority.clone(),
+                        req,
+                        completion,
+                        priority,
+                        attempts: Vec::new(),
+                        pool_size: 0,
+                        completed: false,
+                    },
+                );
+                self.complete_rpc(rpc_id, status, now);
+            }
+            RouteOutcome::Forward { pod, cluster } => {
+                let pool_size = self.cluster.endpoints(&cluster, None).len();
+                let (timeout, hedge_after) = {
+                    let sc = self.sidecars.get(&caller).expect("caller sidecar");
+                    (
+                        sc.timeout(&cluster),
+                        sc.config().policy(&cluster).hedge_after,
+                    )
+                };
+                self.rpcs.insert(
+                    rpc_id,
+                    Rpc {
+                        caller,
+                        cluster,
+                        req,
+                        completion,
+                        priority,
+                        attempts: vec![AttemptState {
+                            pod,
+                            sent: now,
+                            done: false,
+                        }],
+                        pool_size,
+                        completed: false,
+                    },
+                );
+                self.queue.push(now + timeout, Ev::RpcTimeout { rpc: rpc_id });
+                if let Some(delay) = hedge_after {
+                    self.queue
+                        .push(now + delay, Ev::HedgeFire { rpc: rpc_id, attempt: 0 });
+                }
+                self.launch_attempt(rpc_id, 0, now);
+            }
+        }
+    }
+
+    /// Serialize attempt `idx`'s request onto the wire (after the
+    /// caller-side sidecar overhead) and arm its per-try timer.
+    fn launch_attempt(&mut self, rpc_id: u64, idx: u32, now: SimTime) {
+        let (caller, dst, priority, wire, cluster) = {
+            let rpc = self.rpcs.get(&rpc_id).expect("rpc exists");
+            (
+                rpc.caller,
+                rpc.attempts[idx as usize].pod,
+                rpc.priority,
+                rpc.req.wire_size(),
+                rpc.cluster.clone(),
+            )
+        };
+        let (overhead, per_try) = {
+            let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+            (sc.overhead(), sc.per_try_timeout(&cluster))
+        };
+        let (conn, dir) = self.conn_for(caller, dst, priority);
+        let msg = self.alloc_msg();
+        let req = self.rpcs.get(&rpc_id).expect("rpc exists").req.clone();
+        self.msg_store.insert(
+            msg,
+            MsgInFlight::Request {
+                req,
+                rpc: rpc_id,
+                attempt: idx,
+            },
+        );
+        let send_at = now + overhead + self.spec.config.app_sidecar_delay;
+        self.queue.push(
+            send_at,
+            Ev::SendMsg {
+                conn,
+                dir,
+                msg,
+                bytes: wire,
+            },
+        );
+        self.queue.push(
+            send_at + per_try,
+            Ev::PerTryTimeout {
+                rpc: rpc_id,
+                attempt: idx,
+            },
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Responses, timeouts, retries, hedges
+    // -----------------------------------------------------------------
+
+    /// Settle attempt `idx` with `outcome`, reporting to the caller's
+    /// sidecar. Returns `false` if the attempt was already settled or the
+    /// rpc is gone/completed.
+    fn settle_attempt(
+        &mut self,
+        rpc_id: u64,
+        idx: u32,
+        outcome: Result<StatusCode, AttemptFailure>,
+        now: SimTime,
+    ) -> bool {
+        let Some(rpc) = self.rpcs.get_mut(&rpc_id) else {
+            return false;
+        };
+        if rpc.completed {
+            return false;
+        }
+        let Some(att) = rpc.attempts.get_mut(idx as usize) else {
+            return false;
+        };
+        if att.done {
+            return false;
+        }
+        att.done = true;
+        let latency = now.saturating_since(att.sent);
+        let (caller, cluster, pod, pool) =
+            (rpc.caller, rpc.cluster.clone(), att.pod, rpc.pool_size);
+        let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+        sc.on_upstream_response(&cluster, pod, outcome, latency, pool, now);
+        true
+    }
+
+    /// After a failed attempt settles: retry if allowed, else complete
+    /// with `status` — but only once no live attempts remain.
+    fn after_failure(
+        &mut self,
+        rpc_id: u64,
+        failure: AttemptFailure,
+        status: StatusCode,
+        now: SimTime,
+    ) {
+        let (live, caller, cluster, req, tries) = {
+            let rpc = self.rpcs.get(&rpc_id).expect("rpc exists");
+            (
+                rpc.live_attempts(),
+                rpc.caller,
+                rpc.cluster.clone(),
+                rpc.req.clone(),
+                rpc.attempts.len() as u32,
+            )
+        };
+        if live > 0 {
+            // A concurrent (hedged) attempt may still succeed.
+            return;
+        }
+        let backoff = {
+            let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+            sc.should_retry(&cluster, &req, tries.saturating_sub(1), failure, now)
+        };
+        match backoff {
+            Some(b) => self.queue.push(now + b, Ev::RetryFire { rpc: rpc_id }),
+            None => self.complete_rpc(rpc_id, status, now),
+        }
+    }
+
+    pub(crate) fn on_attempt_response(
+        &mut self,
+        rpc_id: u64,
+        attempt: u32,
+        status: StatusCode,
+        now: SimTime,
+    ) {
+        if !self.settle_attempt(rpc_id, attempt, Ok(status), now) {
+            return;
+        }
+        if status.is_server_error() {
+            self.after_failure(rpc_id, AttemptFailure::Status(status), status, now);
+        } else {
+            self.complete_rpc(rpc_id, status, now);
+        }
+    }
+
+    pub(crate) fn on_per_try_timeout(&mut self, rpc_id: u64, attempt: u32, now: SimTime) {
+        if !self.settle_attempt(rpc_id, attempt, Err(AttemptFailure::Timeout), now) {
+            return;
+        }
+        self.stats.attempt_timeouts += 1;
+        self.after_failure(
+            rpc_id,
+            AttemptFailure::Timeout,
+            StatusCode::GATEWAY_TIMEOUT,
+            now,
+        );
+    }
+
+    pub(crate) fn on_rpc_timeout(&mut self, rpc_id: u64, now: SimTime) {
+        let Some(rpc) = self.rpcs.get(&rpc_id) else {
+            return;
+        };
+        if rpc.completed {
+            return;
+        }
+        // Settle every live attempt so breaker/outstanding pairing holds.
+        let live: Vec<u32> = rpc
+            .attempts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.done)
+            .map(|(i, _)| i as u32)
+            .collect();
+        for idx in live {
+            self.settle_attempt(rpc_id, idx, Err(AttemptFailure::Timeout), now);
+        }
+        self.complete_rpc(rpc_id, StatusCode::GATEWAY_TIMEOUT, now);
+    }
+
+    pub(crate) fn on_retry_fire(&mut self, rpc_id: u64, now: SimTime) {
+        let Some(rpc) = self.rpcs.get(&rpc_id) else {
+            return;
+        };
+        if rpc.completed {
+            return;
+        }
+        let (caller, req) = (rpc.caller, rpc.req.clone());
+        let decision = self.route_again(caller, &req, now);
+        match decision {
+            RouteOutcome::FailFast(status) => {
+                self.complete_rpc(rpc_id, status, now);
+            }
+            RouteOutcome::Forward { pod, .. } => {
+                let rpc = self.rpcs.get_mut(&rpc_id).expect("rpc exists");
+                rpc.attempts.push(AttemptState {
+                    pod,
+                    sent: now,
+                    done: false,
+                });
+                let idx = rpc.attempts.len() as u32 - 1;
+                self.launch_attempt(rpc_id, idx, now);
+            }
+        }
+    }
+
+    /// Re-run outbound routing for a retry or hedge attempt.
+    fn route_again(
+        &mut self,
+        caller: meshlayer_cluster::PodId,
+        req: &Request,
+        now: SimTime,
+    ) -> RouteOutcome {
+        let cluster = &self.cluster;
+        let fabric = &self.fabric;
+        let sdn = &self.sdn;
+        let sdn_lb = self.spec.xlayer.sdn_lb;
+        let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+        sc.route_outbound(
+            req,
+            &|c, s| {
+                let eps = cluster.endpoints(c, s);
+                if sdn_lb {
+                    sdn.uncongested(fabric, &eps)
+                } else {
+                    eps
+                }
+            },
+            now,
+        )
+    }
+
+    /// The hedge delay elapsed: if the watched attempt is still pending
+    /// and nothing newer has been launched, issue a redundant attempt.
+    pub(crate) fn on_hedge_fire(&mut self, rpc_id: u64, attempt: u32, now: SimTime) {
+        let Some(rpc) = self.rpcs.get(&rpc_id) else {
+            return;
+        };
+        if rpc.completed
+            || rpc.attempts.len() != attempt as usize + 1
+            || rpc.attempts[attempt as usize].done
+        {
+            return;
+        }
+        let (caller, req) = (rpc.caller, rpc.req.clone());
+        let decision = self.route_again(caller, &req, now);
+        if let RouteOutcome::Forward { pod, .. } = decision {
+            self.stats.hedges += 1;
+            let rpc = self.rpcs.get_mut(&rpc_id).expect("rpc exists");
+            rpc.attempts.push(AttemptState {
+                pod,
+                sent: now,
+                done: false,
+            });
+            let idx = rpc.attempts.len() as u32 - 1;
+            self.launch_attempt(rpc_id, idx, now);
+        }
+        // FailFast: hedging is best-effort; the original attempt stands.
+    }
+
+    // -----------------------------------------------------------------
+    // Completion
+    // -----------------------------------------------------------------
+
+    /// Finish an RPC and notify its completion target.
+    pub(crate) fn complete_rpc(&mut self, rpc_id: u64, status: StatusCode, now: SimTime) {
+        let rpc = self.rpcs.get_mut(&rpc_id).expect("rpc exists");
+        if rpc.completed {
+            return;
+        }
+        rpc.completed = true;
+        let completion = rpc.completion.clone();
+        let caller = rpc.caller;
+        // Settle any still-live attempts (e.g. the losing hedge) so the
+        // sidecar's outstanding/breaker accounting stays balanced; their
+        // late responses are dropped by `settle_attempt`'s done check.
+        let live: Vec<(meshlayer_cluster::PodId, SimTime)> = rpc
+            .attempts
+            .iter_mut()
+            .filter(|a| !a.done)
+            .map(|a| {
+                a.done = true;
+                (a.pod, a.sent)
+            })
+            .collect();
+        if !live.is_empty() {
+            let cluster = rpc.cluster.clone();
+            let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+            for (pod, _sent) in live {
+                sc.on_attempt_cancelled(&cluster, pod, now);
+            }
+        }
+        // Drop the rpc record; everything needed is local now.
+        self.rpcs.remove(&rpc_id);
+        match completion {
+            CompletionKey::Root {
+                class,
+                intended_at,
+                request_id,
+            } => {
+                if status.is_success() {
+                    self.stats.roots_ok += 1;
+                    self.recorder.record_ok(&class, intended_at, now);
+                } else {
+                    self.stats.roots_failed += 1;
+                    self.recorder.record_failure(&class, intended_at);
+                }
+                let sc = self.sidecars.get_mut(&caller).expect("ingress sidecar");
+                // The gateway's own span is the trace root.
+                if let Some(ctx) = sc.inbound_ctx(&request_id).cloned() {
+                    if ctx.sampled {
+                        let span = sc.server_span(&ctx, ctx.parent, intended_at, now, status);
+                        self.tracer.record(span);
+                    }
+                }
+                sc.end_inbound(&request_id);
+            }
+            CompletionKey::Exec { exec, token } => {
+                if !status.is_success() {
+                    if let Some(e) = self.execs.get_mut(&exec) {
+                        e.failed = Some(status);
+                    }
+                }
+                self.complete_token(exec, token, now);
+            }
+        }
+    }
+}

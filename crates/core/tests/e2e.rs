@@ -1,0 +1,170 @@
+//! End-to-end driver tests on a minimal two-service app.
+
+use meshlayer_cluster::{CallStep, ServiceBehavior, ServiceSpec};
+use meshlayer_core::{Classifier, Priority, SimSpec, Simulation, XLayerConfig};
+use meshlayer_simcore::{Dist, SimDuration};
+use meshlayer_workload::WorkloadSpec;
+
+fn tiny_spec(rps: f64, secs: u64) -> SimSpec {
+    let frontend = ServiceSpec::new(
+        "frontend",
+        1,
+        ServiceBehavior {
+            on_request: CallStep::Seq(vec![
+                CallStep::Compute(Dist::constant(0.001)),
+                CallStep::call("backend", "/get"),
+            ]),
+            response_bytes: Dist::constant(2048.0),
+        },
+    );
+    let backend = ServiceSpec::new(
+        "backend",
+        2,
+        ServiceBehavior {
+            on_request: CallStep::Compute(Dist::constant(0.002)),
+            response_bytes: Dist::constant(4096.0),
+        },
+    );
+    let wl = WorkloadSpec::get("users", "/get", rps);
+    let mut spec = SimSpec::new(vec![frontend, backend], vec![wl]);
+    spec.classifier = Classifier::new().route("/", Priority::High);
+    spec.config.duration = SimDuration::from_secs(secs);
+    spec.config.warmup = SimDuration::from_secs(1);
+    spec.config.cooldown = SimDuration::from_millis(500);
+    spec
+}
+
+#[test]
+fn requests_complete_end_to_end() {
+    let mut sim = Simulation::build(tiny_spec(50.0, 10));
+    let m = sim.run();
+    assert!(m.world.roots_started > 400, "{:?}", m.world);
+    assert_eq!(m.world.roots_failed, 0, "{:?}", m.world);
+    assert!(
+        m.world.roots_ok >= m.world.roots_started - 5,
+        "most roots complete: {:?}",
+        m.world
+    );
+    let users = m.class("users").expect("class recorded");
+    assert!(users.completed > 300);
+    // Uncongested: a few ms end to end, well under 50 ms.
+    assert!(users.p50_ms > 0.5, "p50 {}", users.p50_ms);
+    assert!(users.p50_ms < 50.0, "p50 {}", users.p50_ms);
+    assert!(users.p99_ms < 100.0, "p99 {}", users.p99_ms);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut sim = Simulation::build(tiny_spec(30.0, 5));
+        let m = sim.run();
+        (
+            m.world.roots_ok,
+            m.events,
+            m.class("users").map(|c| (c.completed, c.p50_ms.to_bits(), c.p99_ms.to_bits())),
+        )
+    };
+    assert_eq!(run(), run(), "same spec + seed must be bit-identical");
+
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed| {
+        let mut spec = tiny_spec(30.0, 5);
+        spec.config.seed = seed;
+        let m = Simulation::build(spec).run();
+        // Arrival processes differ by seed, so event counts differ.
+        (m.events, m.world.roots_started)
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn xlayer_toggles_do_not_break_uncongested_runs() {
+    for xl in [
+        XLayerConfig::baseline(),
+        XLayerConfig::paper_prototype(),
+        XLayerConfig::full(),
+    ] {
+        let mut spec = tiny_spec(20.0, 5);
+        spec.xlayer = xl;
+        let m = Simulation::build(spec).run();
+        assert_eq!(m.world.roots_failed, 0, "{xl:?}: {:?}", m.world);
+        assert!(m.class("users").unwrap().completed > 40, "{xl:?}");
+    }
+}
+
+#[test]
+fn sidecar_fleet_sees_traffic() {
+    let mut spec = tiny_spec(20.0, 5);
+    // Priority propagation needs the ingress classifier stamping headers.
+    spec.xlayer.classify = true;
+    let mut sim = Simulation::build(spec);
+    let m = sim.run();
+    // Each root crosses ingress + frontend + backend sidecars.
+    assert!(m.fleet.inbound_requests >= 3 * m.world.roots_ok);
+    assert!(m.fleet.outbound_requests >= 2 * m.world.roots_ok);
+    assert_eq!(m.fleet.fail_fast, 0);
+    // Priority propagated from frontend onto backend calls.
+    assert!(m.fleet.priority_propagated > 0);
+}
+
+#[test]
+fn links_carry_bytes_and_transport_delivers() {
+    let mut sim = Simulation::build(tiny_spec(20.0, 5));
+    let m = sim.run();
+    let total_tx: u64 = m.links.iter().map(|l| l.tx_bytes).sum();
+    assert!(total_tx > 100_000, "links moved {total_tx} bytes");
+    assert!(m.transport.msgs_delivered >= 4 * m.world.roots_ok);
+    assert!(m.transport.connections >= 3);
+    assert_eq!(m.world.pkt_drops, 0, "no drops when uncongested");
+}
+
+#[test]
+fn traces_are_collected_with_correct_depth() {
+    let mut spec = tiny_spec(10.0, 3);
+    spec.mesh.sampling = meshlayer_mesh::Sampling::Always;
+    let mut sim = Simulation::build(spec);
+    let m = sim.run();
+    assert!(m.spans > 0);
+    let traces = sim.tracer().traces();
+    // Find a complete trace: frontend (root server span) -> backend.
+    let complete = traces
+        .iter()
+        .filter(|t| t.root().is_some() && t.spans.len() >= 2)
+        .count();
+    assert!(complete > 10, "complete traces: {complete}");
+}
+
+#[test]
+fn metrics_report_is_complete_and_queryable() {
+    let mut sim = Simulation::build(tiny_spec(20.0, 5));
+    let m = sim.run();
+    // Lookups.
+    assert!(m.class("users").is_some());
+    assert!(m.class("nope").is_none());
+    assert!(m.link("frontend-1->switch").is_some());
+    assert!(m.link("no->where").is_none());
+    // Render mentions the workload and a hot link, and core counters.
+    let r = m.render();
+    assert!(r.contains("users"), "{r}");
+    assert!(r.contains("roots"), "{r}");
+    // Pods reported for every pod incl. the ingress gateway.
+    assert_eq!(m.pods.len(), sim.cluster().pod_count());
+    // Serializes for the harness's JSON output.
+    let json = serde_json::to_string(&m).expect("metrics serialize");
+    assert!(json.contains("latency") || json.contains("classes"));
+    // Simulated duration matches the configured horizon.
+    assert!((m.sim_seconds - 5.0).abs() < 0.2, "{}", m.sim_seconds);
+}
+
+#[test]
+fn control_plane_tick_collects_fleet_telemetry() {
+    let mut sim = Simulation::build(tiny_spec(20.0, 5));
+    let _ = sim.run();
+    // The 1 s control tick reported every sidecar at least once.
+    assert!(sim.control().telemetry().len() >= 4);
+    let fleet = sim.control().fleet_telemetry();
+    assert!(fleet.inbound_requests > 0);
+}

@@ -1,0 +1,197 @@
+//! Case-insensitive HTTP headers and the mesh's well-known header names.
+//!
+//! The paper's prototype communicates entirely through headers: the front
+//! end stamps a custom priority header on ingress requests (§4.3 step 1),
+//! and sidecars copy it onto child requests correlated by `x-request-id`
+//! (§4.3 step 2). Zipkin-style `x-b3-*` headers carry the trace context
+//! that makes distributed tracing — and therefore provenance — work.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Envoy's per-request correlation id, propagated by applications so the
+/// mesh can tie an outbound request to the inbound one that caused it.
+pub const HDR_REQUEST_ID: &str = "x-request-id";
+/// The custom priority header of the paper's prototype (§4.3).
+pub const HDR_PRIORITY: &str = "x-mesh-priority";
+/// Zipkin B3 trace id (one per end-to-end request tree).
+pub const HDR_B3_TRACE_ID: &str = "x-b3-traceid";
+/// Zipkin B3 span id (one per service hop).
+pub const HDR_B3_SPAN_ID: &str = "x-b3-spanid";
+/// Zipkin B3 parent span id.
+pub const HDR_B3_PARENT_SPAN_ID: &str = "x-b3-parentspanid";
+/// Standard host header.
+pub const HDR_HOST: &str = "host";
+/// Standard content-length header.
+pub const HDR_CONTENT_LENGTH: &str = "content-length";
+
+/// An ordered, case-insensitive header multimap.
+///
+/// Names are normalized to lowercase at insertion (HTTP/1.1 header names
+/// are case-insensitive; HTTP/2 requires lowercase). Insertion order is
+/// preserved for deterministic serialization.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        HeaderMap::default()
+    }
+
+    /// Append a header (keeps any existing values for the same name).
+    pub fn append(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.push((name.to_ascii_lowercase(), value.into()));
+    }
+
+    /// Set a header, replacing all existing values for the same name.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        let lname = name.to_ascii_lowercase();
+        self.entries.retain(|(n, _)| *n != lname);
+        self.entries.push((lname, value.into()));
+    }
+
+    /// First value for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let lname = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == lname)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        let lname = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .filter(|(n, _)| *n == lname)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Whether `name` is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Remove all values for `name`; returns how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let lname = name.to_ascii_lowercase();
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| *n != lname);
+        before - self.entries.len()
+    }
+
+    /// Number of header entries (not distinct names).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Approximate wire size: `name: value\r\n` per entry.
+    pub fn wire_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(n, v)| n.len() + 2 + v.len() + 2)
+            .sum()
+    }
+}
+
+impl fmt::Display for HeaderMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, v) in self.iter() {
+            writeln!(f, "{n}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<const N: usize> From<[(&str, &str); N]> for HeaderMap {
+    fn from(pairs: [(&str, &str); N]) -> Self {
+        let mut m = HeaderMap::new();
+        for (n, v) in pairs {
+            m.append(n, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_get_set() {
+        let mut h = HeaderMap::new();
+        h.set("X-Request-ID", "abc");
+        assert_eq!(h.get("x-request-id"), Some("abc"));
+        assert_eq!(h.get("X-REQUEST-ID"), Some("abc"));
+        assert!(h.contains("x-Request-Id"));
+    }
+
+    #[test]
+    fn set_replaces_append_accumulates() {
+        let mut h = HeaderMap::new();
+        h.append("via", "a");
+        h.append("via", "b");
+        assert_eq!(h.get_all("via"), vec!["a", "b"]);
+        h.set("via", "c");
+        assert_eq!(h.get_all("via"), vec!["c"]);
+        assert_eq!(h.get("via"), Some("c"));
+    }
+
+    #[test]
+    fn remove_returns_count() {
+        let mut h = HeaderMap::from([("a", "1"), ("a", "2"), ("b", "3")]);
+        assert_eq!(h.remove("A"), 2);
+        assert_eq!(h.remove("a"), 0);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let h = HeaderMap::from([("z", "1"), ("a", "2"), ("m", "3")]);
+        let names: Vec<&str> = h.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn wire_size_counts_separators() {
+        let h = HeaderMap::from([("ab", "cd")]);
+        // "ab: cd\r\n" = 8 bytes.
+        assert_eq!(h.wire_size(), 8);
+    }
+
+    #[test]
+    fn display_renders_lines() {
+        let h = HeaderMap::from([("a", "1")]);
+        assert_eq!(h.to_string(), "a: 1\n");
+    }
+
+    #[test]
+    fn well_known_names_are_lowercase() {
+        for n in [
+            HDR_REQUEST_ID,
+            HDR_PRIORITY,
+            HDR_B3_TRACE_ID,
+            HDR_B3_SPAN_ID,
+            HDR_B3_PARENT_SPAN_ID,
+            HDR_HOST,
+            HDR_CONTENT_LENGTH,
+        ] {
+            assert_eq!(n, n.to_ascii_lowercase());
+        }
+    }
+}

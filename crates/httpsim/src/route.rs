@@ -1,0 +1,306 @@
+//! Virtual-service routing rules.
+//!
+//! The Istio `VirtualService`/`DestinationRule` analogue: an ordered rule
+//! table mapping `(authority, path prefix, header matches)` to a target
+//! cluster and optional *subset*. Subsets are how the paper's prototype
+//! pins priorities to replicas — "front end forwards requests to either
+//! reviews replica 1 or 2 depending on priority" is one rule matching
+//! `x-mesh-priority: high` to subset `high` and a fallback rule to subset
+//! `low`.
+
+use crate::headers::HeaderMap;
+use crate::message::Request;
+use serde::{Deserialize, Serialize};
+
+/// How a header must match.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeaderMatch {
+    /// Header present with exactly this value.
+    Exact(String, String),
+    /// Header present with value starting with this prefix.
+    Prefix(String, String),
+    /// Header present with any value.
+    Present(String),
+    /// Header absent.
+    Absent(String),
+}
+
+impl HeaderMatch {
+    /// Evaluate against a header map.
+    pub fn matches(&self, headers: &HeaderMap) -> bool {
+        match self {
+            HeaderMatch::Exact(n, v) => headers.get(n) == Some(v.as_str()),
+            HeaderMatch::Prefix(n, p) => headers.get(n).is_some_and(|v| v.starts_with(p)),
+            HeaderMatch::Present(n) => headers.contains(n),
+            HeaderMatch::Absent(n) => !headers.contains(n),
+        }
+    }
+}
+
+/// Where a matched request goes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteTarget {
+    /// Destination cluster (service name).
+    pub cluster: String,
+    /// Optional subset within the cluster (e.g. `"high"`, `"v2"`).
+    pub subset: Option<String>,
+    /// Weight for weighted routing among multiple targets (0–100).
+    pub weight: u32,
+}
+
+impl RouteTarget {
+    /// A full-weight target with no subset.
+    pub fn cluster(name: impl Into<String>) -> RouteTarget {
+        RouteTarget {
+            cluster: name.into(),
+            subset: None,
+            weight: 100,
+        }
+    }
+
+    /// A full-weight target pinned to a subset.
+    pub fn subset(cluster: impl Into<String>, subset: impl Into<String>) -> RouteTarget {
+        RouteTarget {
+            cluster: cluster.into(),
+            subset: Some(subset.into()),
+            weight: 100,
+        }
+    }
+}
+
+/// One routing rule.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteRule {
+    /// Authority (service name) this rule applies to; `None` = any.
+    pub authority: Option<String>,
+    /// Path prefix; `None` = any.
+    pub path_prefix: Option<String>,
+    /// Header conditions (all must hold).
+    pub headers: Vec<HeaderMatch>,
+    /// Targets (weights must sum to 100 when there are several).
+    pub targets: Vec<RouteTarget>,
+}
+
+impl RouteRule {
+    /// A rule matching every request to `authority`, sending it to the
+    /// cluster of the same name.
+    pub fn passthrough(authority: impl Into<String>) -> RouteRule {
+        let a = authority.into();
+        RouteRule {
+            authority: Some(a.clone()),
+            path_prefix: None,
+            headers: Vec::new(),
+            targets: vec![RouteTarget::cluster(a)],
+        }
+    }
+
+    /// Whether this rule matches `req`.
+    pub fn matches(&self, req: &Request) -> bool {
+        if let Some(a) = &self.authority {
+            if *a != req.authority {
+                return false;
+            }
+        }
+        if let Some(p) = &self.path_prefix {
+            if !req.path.starts_with(p.as_str()) {
+                return false;
+            }
+        }
+        self.headers.iter().all(|h| h.matches(&req.headers))
+    }
+
+    /// Pick a target by weighted choice; `roll` is a uniform draw in
+    /// `[0, 100)`. Single-target rules ignore the roll.
+    pub fn pick_target(&self, roll: u32) -> Option<&RouteTarget> {
+        if self.targets.is_empty() {
+            return None;
+        }
+        if self.targets.len() == 1 {
+            return Some(&self.targets[0]);
+        }
+        let mut acc = 0u32;
+        for t in &self.targets {
+            acc += t.weight;
+            if roll < acc {
+                return Some(t);
+            }
+        }
+        self.targets.last()
+    }
+}
+
+/// An ordered rule table; first match wins.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RouteTable {
+    rules: Vec<RouteRule>,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RouteTable::default()
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: RouteRule) {
+        self.rules.push(rule);
+    }
+
+    /// Insert a rule at the front (highest precedence).
+    pub fn push_front(&mut self, rule: RouteRule) {
+        self.rules.insert(0, rule);
+    }
+
+    /// The first rule matching `req`.
+    pub fn resolve(&self, req: &Request) -> Option<&RouteRule> {
+        self.rules.iter().find(|r| r.matches(req))
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterate over rules in precedence order.
+    pub fn iter(&self) -> impl Iterator<Item = &RouteRule> {
+        self.rules.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::HDR_PRIORITY;
+
+    fn req(authority: &str, path: &str) -> Request {
+        Request::get(authority, path)
+    }
+
+    #[test]
+    fn passthrough_matches_authority_only() {
+        let r = RouteRule::passthrough("reviews");
+        assert!(r.matches(&req("reviews", "/anything")));
+        assert!(!r.matches(&req("details", "/anything")));
+        assert_eq!(r.targets[0].cluster, "reviews");
+    }
+
+    #[test]
+    fn priority_subset_routing() {
+        // The paper's rule pair: high priority -> reviews subset "high",
+        // everything else -> subset "low".
+        let mut table = RouteTable::new();
+        table.push(RouteRule {
+            authority: Some("reviews".into()),
+            path_prefix: None,
+            headers: vec![HeaderMatch::Exact(HDR_PRIORITY.into(), "high".into())],
+            targets: vec![RouteTarget::subset("reviews", "high")],
+        });
+        table.push(RouteRule {
+            authority: Some("reviews".into()),
+            path_prefix: None,
+            headers: vec![],
+            targets: vec![RouteTarget::subset("reviews", "low")],
+        });
+
+        let hi = req("reviews", "/r/1").with_header(HDR_PRIORITY, "high");
+        let lo = req("reviews", "/r/1").with_header(HDR_PRIORITY, "low");
+        let none = req("reviews", "/r/1");
+        assert_eq!(
+            table.resolve(&hi).unwrap().targets[0].subset.as_deref(),
+            Some("high")
+        );
+        assert_eq!(
+            table.resolve(&lo).unwrap().targets[0].subset.as_deref(),
+            Some("low")
+        );
+        assert_eq!(
+            table.resolve(&none).unwrap().targets[0].subset.as_deref(),
+            Some("low")
+        );
+    }
+
+    #[test]
+    fn path_prefix_matching() {
+        let r = RouteRule {
+            authority: None,
+            path_prefix: Some("/api/".into()),
+            headers: vec![],
+            targets: vec![RouteTarget::cluster("api")],
+        };
+        assert!(r.matches(&req("any", "/api/v1/x")));
+        assert!(!r.matches(&req("any", "/web/index")));
+    }
+
+    #[test]
+    fn header_match_variants() {
+        let h = HeaderMap::from([("x-user", "alice-123")]);
+        assert!(HeaderMatch::Exact("x-user".into(), "alice-123".into()).matches(&h));
+        assert!(!HeaderMatch::Exact("x-user".into(), "alice".into()).matches(&h));
+        assert!(HeaderMatch::Prefix("x-user".into(), "alice".into()).matches(&h));
+        assert!(HeaderMatch::Present("x-user".into()).matches(&h));
+        assert!(!HeaderMatch::Present("x-other".into()).matches(&h));
+        assert!(HeaderMatch::Absent("x-other".into()).matches(&h));
+        assert!(!HeaderMatch::Absent("x-user".into()).matches(&h));
+    }
+
+    #[test]
+    fn weighted_pick() {
+        let r = RouteRule {
+            authority: None,
+            path_prefix: None,
+            headers: vec![],
+            targets: vec![
+                RouteTarget {
+                    cluster: "v1".into(),
+                    subset: None,
+                    weight: 90,
+                },
+                RouteTarget {
+                    cluster: "v2".into(),
+                    subset: None,
+                    weight: 10,
+                },
+            ],
+        };
+        assert_eq!(r.pick_target(0).unwrap().cluster, "v1");
+        assert_eq!(r.pick_target(89).unwrap().cluster, "v1");
+        assert_eq!(r.pick_target(90).unwrap().cluster, "v2");
+        assert_eq!(r.pick_target(99).unwrap().cluster, "v2");
+        // Out-of-range roll falls back to the last target.
+        assert_eq!(r.pick_target(100).unwrap().cluster, "v2");
+    }
+
+    #[test]
+    fn first_match_wins_and_push_front_overrides() {
+        let mut table = RouteTable::new();
+        table.push(RouteRule::passthrough("svc"));
+        let mut override_rule = RouteRule::passthrough("svc");
+        override_rule.targets = vec![RouteTarget::cluster("canary")];
+        table.push_front(override_rule);
+        assert_eq!(table.resolve(&req("svc", "/")).unwrap().targets[0].cluster, "canary");
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let table = RouteTable::new();
+        assert!(table.resolve(&req("svc", "/")).is_none());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn empty_targets_pick_none() {
+        let r = RouteRule {
+            authority: None,
+            path_prefix: None,
+            headers: vec![],
+            targets: vec![],
+        };
+        assert!(r.pick_target(0).is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based codec tests: encode/decode round-trips with arbitrary
+//! header sets, and wire-size consistency between the simulation's
+//! accounting and real serialization.
+
+use meshlayer_http::codec::{
+    decode_request_head, decode_response_head, encode_request_head, encode_response_head,
+    find_head_end,
+};
+use meshlayer_http::{Method, Request, Response, StatusCode};
+use proptest::prelude::*;
+
+fn header_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,20}".prop_filter("reserved names", |n| {
+        n != "host" && n != "content-length"
+    })
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    // Token-ish values: no CR/LF/colon edge cases, no leading/trailing
+    // whitespace (trimmed by the parser by design).
+    "[a-zA-Z0-9_./=+-]{1,30}"
+}
+
+proptest! {
+    #[test]
+    fn request_round_trip(
+        method_idx in 0usize..5,
+        path in "/[a-z0-9/]{0,30}",
+        authority in "[a-z][a-z0-9-]{0,15}",
+        body_len in 0u64..1_000_000,
+        headers in prop::collection::vec((header_name(), header_value()), 0..10),
+    ) {
+        let method = [Method::Get, Method::Post, Method::Put, Method::Delete, Method::Head][method_idx];
+        let mut req = Request {
+            method,
+            path: path.clone(),
+            authority: authority.clone(),
+            headers: Default::default(),
+            body_len,
+        };
+        for (n, v) in &headers {
+            req.headers.append(n, v.clone());
+        }
+        let encoded = encode_request_head(&req);
+        prop_assert_eq!(find_head_end(&encoded), Some(encoded.len()));
+        let back = decode_request_head(&encoded).unwrap();
+        prop_assert_eq!(back.method, method);
+        prop_assert_eq!(&back.path, &path);
+        prop_assert_eq!(&back.authority, &authority);
+        prop_assert_eq!(back.body_len, body_len);
+        for (n, v) in &headers {
+            prop_assert!(back.headers.get_all(n).contains(&v.as_str()), "lost header {}", n);
+        }
+        // Simulated wire size == real bytes + body.
+        prop_assert_eq!(req.wire_size(), encoded.len() as u64 + body_len);
+    }
+
+    #[test]
+    fn response_round_trip(
+        status in 100u16..600,
+        body_len in 0u64..10_000_000,
+        headers in prop::collection::vec((header_name(), header_value()), 0..10),
+    ) {
+        let mut resp = Response {
+            status: StatusCode(status),
+            headers: Default::default(),
+            body_len,
+        };
+        for (n, v) in &headers {
+            resp.headers.append(n, v.clone());
+        }
+        let encoded = encode_response_head(&resp);
+        let back = decode_response_head(&encoded).unwrap();
+        prop_assert_eq!(back.status, StatusCode(status));
+        prop_assert_eq!(back.body_len, body_len);
+        prop_assert_eq!(resp.wire_size(), encoded.len() as u64 + body_len);
+    }
+
+    /// Truncated heads never decode as complete and never panic.
+    #[test]
+    fn truncation_is_detected(cut_ratio in 0.0f64..1.0) {
+        let req = Request::post("svc", "/a/b/c", 1234)
+            .with_header("x-request-id", "r-1")
+            .with_header("x-mesh-priority", "high");
+        let encoded = encode_request_head(&req);
+        let cut = ((encoded.len() - 1) as f64 * cut_ratio) as usize;
+        prop_assert_eq!(find_head_end(&encoded[..cut]), None);
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let _ = decode_request_head(&bytes);
+        let _ = decode_response_head(&bytes);
+        let _ = find_head_end(&bytes);
+    }
+}

@@ -1,0 +1,622 @@
+//! Resilience: retries, circuit breaking, outlier detection.
+//!
+//! §2: sidecars provide "resilience, such as retrying requests and
+//! implementing a 'circuit breaker' pattern to avoid underperforming
+//! instances". These are the Envoy-shaped implementations: retry policies
+//! with a token *budget* (so retries cannot amplify overload), a
+//! three-state circuit breaker per upstream, and consecutive-5xx outlier
+//! ejection per endpoint.
+
+use meshlayer_cluster::PodId;
+use meshlayer_http::{Method, StatusCode};
+use meshlayer_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Retries
+// ---------------------------------------------------------------------------
+
+/// Why a request attempt failed (retry classification input).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptFailure {
+    /// Upstream returned this status.
+    Status(StatusCode),
+    /// The per-try timeout elapsed.
+    Timeout,
+    /// The upstream was unreachable / connection reset.
+    Reset,
+}
+
+/// Retry configuration (per route).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retries after the initial attempt.
+    pub max_retries: u32,
+    /// Base backoff; attempt `n` waits `base × 2^(n-1)`.
+    pub base_backoff: SimDuration,
+    /// Retry on 5xx responses.
+    pub on_5xx: bool,
+    /// Retry on per-try timeout.
+    pub on_timeout: bool,
+    /// Retry non-idempotent (POST) requests too.
+    pub retry_non_idempotent: bool,
+    /// Retry budget: retries may be at most this fraction of recent
+    /// requests (Envoy's retry_budget). 0 disables the budget check.
+    pub budget_ratio: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: SimDuration::from_millis(5),
+            on_5xx: true,
+            on_timeout: true,
+            retry_non_idempotent: false,
+            budget_ratio: 0.2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Whether `failure` on attempt `attempt` (0-based) of a `method`
+    /// request is retryable under this policy (budget not considered).
+    pub fn should_retry(&self, attempt: u32, method: Method, failure: AttemptFailure) -> bool {
+        if attempt >= self.max_retries {
+            return false;
+        }
+        if !method.is_idempotent() && !self.retry_non_idempotent {
+            return false;
+        }
+        match failure {
+            AttemptFailure::Status(s) => self.on_5xx && s.is_server_error(),
+            AttemptFailure::Timeout => self.on_timeout,
+            AttemptFailure::Reset => true,
+        }
+    }
+
+    /// Backoff before retry number `retry_no` (1-based), with full jitter
+    /// applied by the caller if desired.
+    pub fn backoff(&self, retry_no: u32) -> SimDuration {
+        self.base_backoff
+            .saturating_mul(1u64 << (retry_no.saturating_sub(1)).min(10))
+    }
+}
+
+/// Sliding retry budget: retries are allowed while
+/// `retries < budget_ratio × requests` over the recent window.
+#[derive(Debug)]
+pub struct RetryBudget {
+    ratio: f64,
+    window: SimDuration,
+    /// (time, is_retry) ring of recent events.
+    events: std::collections::VecDeque<(SimTime, bool)>,
+}
+
+impl RetryBudget {
+    /// Budget allowing `ratio` retries per request over a 10 s window.
+    pub fn new(ratio: f64) -> Self {
+        RetryBudget {
+            ratio,
+            window: SimDuration::from_secs(10),
+            events: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        while let Some(&(t, _)) = self.events.front() {
+            if now.saturating_since(t) > self.window {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Record an initial request.
+    pub fn on_request(&mut self, now: SimTime) {
+        self.expire(now);
+        self.events.push_back((now, false));
+    }
+
+    /// Check whether a retry is within budget, and if so record it.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        if self.ratio <= 0.0 {
+            return true; // budget disabled
+        }
+        self.expire(now);
+        let requests = self.events.iter().filter(|(_, r)| !r).count() as f64;
+        let retries = self.events.iter().filter(|(_, r)| *r).count() as f64;
+        // Always allow a small floor (Envoy: min_retry_concurrency).
+        if retries + 1.0 <= (requests * self.ratio).max(3.0) {
+            self.events.push_back((now, true));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Circuit-breaker configuration (per upstream cluster).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before probing.
+    pub open_duration: SimDuration,
+    /// Maximum outstanding requests to the upstream (0 = unlimited).
+    pub max_pending: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_duration: SimDuration::from_secs(5),
+            max_pending: 0,
+        }
+    }
+}
+
+/// Breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation.
+    Closed,
+    /// Failing fast until the open period elapses.
+    Open,
+    /// One probe request allowed through.
+    HalfOpen,
+}
+
+/// A three-state circuit breaker plus pending-request limiter.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    consecutive_failures: u32,
+    state: BreakerState,
+    open_until: SimTime,
+    probe_inflight: bool,
+    pending: usize,
+    /// Requests rejected by the breaker or the pending limit.
+    rejected: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given config.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            open_until: SimTime::ZERO,
+            probe_inflight: false,
+            pending: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Current state (resolving any elapsed open period).
+    pub fn state(&mut self, now: SimTime) -> BreakerState {
+        if self.state == BreakerState::Open && now >= self.open_until {
+            self.state = BreakerState::HalfOpen;
+            self.probe_inflight = false;
+        }
+        self.state
+    }
+
+    /// Try to admit a request. On success the caller must eventually call
+    /// [`CircuitBreaker::on_success`] or [`CircuitBreaker::on_failure`].
+    pub fn try_admit(&mut self, now: SimTime) -> bool {
+        match self.state(now) {
+            BreakerState::Open => {
+                self.rejected += 1;
+                false
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_inflight {
+                    self.rejected += 1;
+                    false
+                } else {
+                    self.probe_inflight = true;
+                    self.pending += 1;
+                    true
+                }
+            }
+            BreakerState::Closed => {
+                if self.cfg.max_pending > 0 && self.pending >= self.cfg.max_pending {
+                    self.rejected += 1;
+                    false
+                } else {
+                    self.pending += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// An admitted request succeeded.
+    pub fn on_success(&mut self, _now: SimTime) {
+        self.pending = self.pending.saturating_sub(1);
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            self.probe_inflight = false;
+        }
+    }
+
+    /// An admitted request failed.
+    pub fn on_failure(&mut self, now: SimTime) {
+        self.pending = self.pending.saturating_sub(1);
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.open_until = now + self.cfg.open_duration;
+                self.probe_inflight = false;
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.open_until = now + self.cfg.open_duration;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Outstanding admitted requests.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outlier detection
+// ---------------------------------------------------------------------------
+
+/// Outlier-ejection configuration (per upstream cluster).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OutlierConfig {
+    /// Consecutive 5xx responses that eject an endpoint.
+    pub consecutive_5xx: u32,
+    /// Ejection duration (multiplied by the endpoint's ejection count).
+    pub base_ejection: SimDuration,
+    /// Maximum fraction of endpoints ejected simultaneously.
+    pub max_ejection_ratio: f64,
+}
+
+impl Default for OutlierConfig {
+    fn default() -> Self {
+        OutlierConfig {
+            consecutive_5xx: 5,
+            base_ejection: SimDuration::from_secs(30),
+            max_ejection_ratio: 0.5,
+        }
+    }
+}
+
+/// Tracks per-endpoint health and ejections for one upstream cluster.
+#[derive(Debug)]
+pub struct OutlierDetector {
+    cfg: OutlierConfig,
+    counts: HashMap<PodId, u32>,
+    ejected_until: HashMap<PodId, SimTime>,
+    ejection_count: HashMap<PodId, u32>,
+}
+
+impl OutlierDetector {
+    /// A detector with the given config.
+    pub fn new(cfg: OutlierConfig) -> Self {
+        OutlierDetector {
+            cfg,
+            counts: HashMap::new(),
+            ejected_until: HashMap::new(),
+            ejection_count: HashMap::new(),
+        }
+    }
+
+    /// Record a response from `pod`; may eject it. `pool_size` bounds the
+    /// ejected fraction.
+    pub fn on_response(&mut self, pod: PodId, status: StatusCode, now: SimTime, pool_size: usize) {
+        if status.is_server_error() {
+            let c = self.counts.entry(pod).or_insert(0);
+            *c += 1;
+            if *c >= self.cfg.consecutive_5xx {
+                let currently_ejected = self
+                    .ejected_until
+                    .values()
+                    .filter(|&&until| until > now)
+                    .count();
+                let allowed =
+                    ((pool_size as f64) * self.cfg.max_ejection_ratio).floor() as usize;
+                if currently_ejected < allowed.max(1).min(pool_size.saturating_sub(1)) {
+                    let n = self.ejection_count.entry(pod).or_insert(0);
+                    *n += 1;
+                    let dur = self.cfg.base_ejection.saturating_mul(*n as u64);
+                    self.ejected_until.insert(pod, now + dur);
+                }
+                *self.counts.get_mut(&pod).expect("entry exists") = 0;
+            }
+        } else {
+            self.counts.insert(pod, 0);
+        }
+    }
+
+    /// Whether `pod` is currently ejected.
+    pub fn is_ejected(&self, pod: PodId, now: SimTime) -> bool {
+        self.ejected_until.get(&pod).is_some_and(|&t| t > now)
+    }
+
+    /// Filter a candidate list down to non-ejected endpoints; if all are
+    /// ejected, returns the input unchanged (panic-mode routing, like
+    /// Envoy's healthy-panic threshold).
+    pub fn healthy(&self, candidates: &[PodId], now: SimTime) -> Vec<PodId> {
+        let healthy: Vec<PodId> = candidates
+            .iter()
+            .copied()
+            .filter(|&p| !self.is_ejected(p, now))
+            .collect();
+        if healthy.is_empty() {
+            candidates.to_vec()
+        } else {
+            healthy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn retry_policy_classification() {
+        let p = RetryPolicy::default();
+        assert!(p.should_retry(0, Method::Get, AttemptFailure::Status(StatusCode::INTERNAL)));
+        assert!(p.should_retry(1, Method::Get, AttemptFailure::Timeout));
+        assert!(p.should_retry(0, Method::Get, AttemptFailure::Reset));
+        // Attempt count exhausted.
+        assert!(!p.should_retry(2, Method::Get, AttemptFailure::Timeout));
+        // 4xx is not retryable.
+        assert!(!p.should_retry(0, Method::Get, AttemptFailure::Status(StatusCode::NOT_FOUND)));
+        // POST not retried by default.
+        assert!(!p.should_retry(0, Method::Post, AttemptFailure::Timeout));
+        let p2 = RetryPolicy {
+            retry_non_idempotent: true,
+            ..RetryPolicy::default()
+        };
+        assert!(p2.should_retry(0, Method::Post, AttemptFailure::Timeout));
+        assert!(!RetryPolicy::none().should_retry(0, Method::Get, AttemptFailure::Reset));
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let p = RetryPolicy {
+            base_backoff: SimDuration::from_millis(10),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(1), SimDuration::from_millis(10));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(20));
+        assert_eq!(p.backoff(3), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn retry_budget_floor_and_ratio() {
+        let mut b = RetryBudget::new(0.2);
+        // No traffic yet: floor of 3 retries allowed.
+        assert!(b.try_take(T0));
+        assert!(b.try_take(T0));
+        assert!(b.try_take(T0));
+        assert!(!b.try_take(T0), "floor exhausted");
+        // 100 requests -> 20 retries allowed.
+        let mut b = RetryBudget::new(0.2);
+        for _ in 0..100 {
+            b.on_request(T0);
+        }
+        let granted = (0..50).filter(|_| b.try_take(T0)).count();
+        assert_eq!(granted, 20, "retries+1 <= 20 allows exactly 20");
+    }
+
+    #[test]
+    fn retry_budget_window_expires() {
+        let mut b = RetryBudget::new(0.2);
+        for _ in 0..100 {
+            b.on_request(T0);
+        }
+        for _ in 0..20 {
+            assert!(b.try_take(T0));
+        }
+        assert!(!b.try_take(T0));
+        // After the window, the floor applies again.
+        let later = T0 + SimDuration::from_secs(11);
+        assert!(b.try_take(later));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold() {
+        let mut cb = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            open_duration: SimDuration::from_secs(1),
+            max_pending: 0,
+        });
+        for _ in 0..3 {
+            assert!(cb.try_admit(T0));
+            cb.on_failure(T0);
+        }
+        assert_eq!(cb.state(T0), BreakerState::Open);
+        assert!(!cb.try_admit(T0));
+        assert_eq!(cb.rejected(), 1);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_then_close() {
+        let mut cb = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_duration: SimDuration::from_secs(1),
+            max_pending: 0,
+        });
+        assert!(cb.try_admit(T0));
+        cb.on_failure(T0);
+        let after = T0 + SimDuration::from_secs(2);
+        assert_eq!(cb.state(after), BreakerState::HalfOpen);
+        assert!(cb.try_admit(after), "one probe allowed");
+        assert!(!cb.try_admit(after), "second probe rejected");
+        cb.on_success(after);
+        assert_eq!(cb.state(after), BreakerState::Closed);
+        assert!(cb.try_admit(after));
+    }
+
+    #[test]
+    fn breaker_half_open_probe_failure_reopens() {
+        let mut cb = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_duration: SimDuration::from_secs(1),
+            max_pending: 0,
+        });
+        cb.try_admit(T0);
+        cb.on_failure(T0);
+        let t1 = T0 + SimDuration::from_secs(2);
+        assert!(cb.try_admit(t1));
+        cb.on_failure(t1);
+        assert_eq!(cb.state(t1), BreakerState::Open);
+        // Stays open for another full period.
+        assert!(!cb.try_admit(t1 + SimDuration::from_millis(500)));
+        assert_eq!(
+            cb.state(t1 + SimDuration::from_secs(2)),
+            BreakerState::HalfOpen
+        );
+    }
+
+    #[test]
+    fn breaker_pending_limit() {
+        let mut cb = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 100,
+            open_duration: SimDuration::from_secs(1),
+            max_pending: 2,
+        });
+        assert!(cb.try_admit(T0));
+        assert!(cb.try_admit(T0));
+        assert!(!cb.try_admit(T0), "pending limit");
+        cb.on_success(T0);
+        assert!(cb.try_admit(T0));
+        assert_eq!(cb.pending(), 2);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut cb = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            ..BreakerConfig::default()
+        });
+        for _ in 0..2 {
+            cb.try_admit(T0);
+            cb.on_failure(T0);
+        }
+        cb.try_admit(T0);
+        cb.on_success(T0);
+        for _ in 0..2 {
+            cb.try_admit(T0);
+            cb.on_failure(T0);
+        }
+        assert_eq!(cb.state(T0), BreakerState::Closed, "counter was reset");
+    }
+
+    #[test]
+    fn outlier_ejects_after_consecutive_5xx() {
+        let mut od = OutlierDetector::new(OutlierConfig {
+            consecutive_5xx: 3,
+            base_ejection: SimDuration::from_secs(10),
+            max_ejection_ratio: 0.5,
+        });
+        let pool = 4;
+        for _ in 0..3 {
+            od.on_response(PodId(0), StatusCode::INTERNAL, T0, pool);
+        }
+        assert!(od.is_ejected(PodId(0), T0));
+        assert!(!od.is_ejected(PodId(0), T0 + SimDuration::from_secs(11)));
+    }
+
+    #[test]
+    fn outlier_success_resets_count() {
+        let mut od = OutlierDetector::new(OutlierConfig {
+            consecutive_5xx: 3,
+            ..OutlierConfig::default()
+        });
+        od.on_response(PodId(0), StatusCode::INTERNAL, T0, 2);
+        od.on_response(PodId(0), StatusCode::INTERNAL, T0, 2);
+        od.on_response(PodId(0), StatusCode::OK, T0, 2);
+        od.on_response(PodId(0), StatusCode::INTERNAL, T0, 2);
+        od.on_response(PodId(0), StatusCode::INTERNAL, T0, 2);
+        assert!(!od.is_ejected(PodId(0), T0));
+    }
+
+    #[test]
+    fn outlier_ejection_ratio_capped() {
+        let mut od = OutlierDetector::new(OutlierConfig {
+            consecutive_5xx: 1,
+            base_ejection: SimDuration::from_secs(100),
+            max_ejection_ratio: 0.5,
+        });
+        // Pool of 2: only 1 may be ejected.
+        od.on_response(PodId(0), StatusCode::INTERNAL, T0, 2);
+        od.on_response(PodId(1), StatusCode::INTERNAL, T0, 2);
+        let ejected = [PodId(0), PodId(1)]
+            .iter()
+            .filter(|&&p| od.is_ejected(p, T0))
+            .count();
+        assert_eq!(ejected, 1);
+    }
+
+    #[test]
+    fn healthy_filters_but_never_empties() {
+        let mut od = OutlierDetector::new(OutlierConfig {
+            consecutive_5xx: 1,
+            base_ejection: SimDuration::from_secs(100),
+            max_ejection_ratio: 1.0,
+        });
+        od.on_response(PodId(0), StatusCode::INTERNAL, T0, 2);
+        let cands = vec![PodId(0), PodId(1)];
+        assert_eq!(od.healthy(&cands, T0), vec![PodId(1)]);
+        od.on_response(PodId(1), StatusCode::INTERNAL, T0, 2);
+        // Both ejected -> panic-mode returns everything.
+        let h = od.healthy(&cands, T0);
+        assert!(!h.is_empty(), "panic mode must not return empty");
+    }
+
+    #[test]
+    fn repeated_ejections_lengthen() {
+        let mut od = OutlierDetector::new(OutlierConfig {
+            consecutive_5xx: 1,
+            base_ejection: SimDuration::from_secs(10),
+            max_ejection_ratio: 1.0,
+        });
+        od.on_response(PodId(0), StatusCode::INTERNAL, T0, 3);
+        assert!(od.is_ejected(PodId(0), T0 + SimDuration::from_secs(9)));
+        assert!(!od.is_ejected(PodId(0), T0 + SimDuration::from_secs(11)));
+        // Second ejection lasts 20 s.
+        let t1 = T0 + SimDuration::from_secs(20);
+        od.on_response(PodId(0), StatusCode::INTERNAL, t1, 3);
+        assert!(od.is_ejected(PodId(0), t1 + SimDuration::from_secs(19)));
+        assert!(!od.is_ejected(PodId(0), t1 + SimDuration::from_secs(21)));
+    }
+}

@@ -1,0 +1,440 @@
+//! Unidirectional links.
+//!
+//! A [`Link`] serializes one packet at a time at `rate_bps`, preceded by its
+//! qdisc and TC classifier, and followed by a fixed propagation delay that
+//! the driver applies when scheduling the delivery event.
+//!
+//! The driver protocol is explicit and event-driven:
+//!
+//! 1. `offer(pkt, now)` — a packet arrives at the link's tail. The link
+//!    classifies, enqueues (possibly dropping), and if the wire is idle
+//!    starts transmitting.
+//! 2. The returned [`LinkOutcome`] tells the driver what to schedule:
+//!    [`LinkOutcome::Busy`] → call [`Link::on_tx_done`] at `done_at`;
+//!    [`LinkOutcome::KickAt`] → call [`Link::on_kick`] at `at` (shaped
+//!    qdisc waiting for tokens); [`LinkOutcome::Idle`] → nothing.
+//! 3. `on_tx_done(now)` yields the transmitted packet — the driver delivers
+//!    it to the head node at `now + delay()` — plus the next outcome.
+
+use crate::packet::{ClassId, NodeId, Packet};
+use crate::qdisc::{Deq, Qdisc};
+use crate::tc::TcTable;
+use crate::topology::LinkId;
+use meshlayer_simcore::time::tx_time;
+use meshlayer_simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// What the driver must do next for this link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// A packet is serializing; call [`Link::on_tx_done`] at `done_at`.
+    Busy {
+        /// Completion time of the in-flight transmission.
+        done_at: SimTime,
+    },
+    /// The qdisc is shaped-idle; call [`Link::on_kick`] at `at`.
+    KickAt {
+        /// Earliest time the shaper can release a packet.
+        at: SimTime,
+    },
+    /// Nothing queued; the link sleeps until the next `offer`.
+    Idle,
+}
+
+/// Counters exposed for telemetry and the experiment harness.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    /// Packets fully transmitted.
+    pub tx_packets: u64,
+    /// Wire bytes fully transmitted.
+    pub tx_bytes: u64,
+    /// Wire bytes transmitted, per DSCP value.
+    pub tx_bytes_by_dscp: HashMap<u8, u64>,
+    /// Nanoseconds the wire spent busy.
+    pub busy_ns: u64,
+    /// Peak queue depth observed (packets).
+    pub peak_queue_pkts: usize,
+    /// Peak queue depth observed (bytes).
+    pub peak_queue_bytes: u64,
+}
+
+/// A unidirectional link: tail qdisc + serializing wire.
+pub struct Link {
+    id: LinkId,
+    from: NodeId,
+    to: NodeId,
+    rate_bps: u64,
+    delay: SimDuration,
+    qdisc: Box<dyn Qdisc>,
+    tc: TcTable,
+    in_flight: Option<Packet>,
+    tx_started: SimTime,
+    pending_kick: Option<SimTime>,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Create a link from `from` to `to` with the given rate, propagation
+    /// delay and qdisc. The TC table starts empty (everything in class 0).
+    pub fn new(
+        id: LinkId,
+        from: NodeId,
+        to: NodeId,
+        rate_bps: u64,
+        delay: SimDuration,
+        qdisc: Box<dyn Qdisc>,
+    ) -> Self {
+        assert!(rate_bps > 0, "zero-rate link");
+        Link {
+            id,
+            from,
+            to,
+            rate_bps,
+            delay,
+            qdisc,
+            tc: TcTable::new(ClassId(0)),
+            in_flight: None,
+            tx_started: SimTime::ZERO,
+            pending_kick: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// This link's id.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// Tail (sending) node.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// Head (receiving) node.
+    pub fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// Serialization rate, bits/second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Propagation delay the driver adds after `on_tx_done`.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Mutable access to the TC classifier (rule installation point used by
+    /// the cross-layer prioritizer).
+    pub fn tc_mut(&mut self) -> &mut TcTable {
+        &mut self.tc
+    }
+
+    /// The TC classifier.
+    pub fn tc(&self) -> &TcTable {
+        &self.tc
+    }
+
+    /// Replace the qdisc (e.g. swap DropTail for HTB when priority rules
+    /// are installed). Any queued packets in the old qdisc are drained into
+    /// the new one in order.
+    pub fn set_qdisc(&mut self, mut qdisc: Box<dyn Qdisc>, now: SimTime) {
+        while let Deq::Packet(p) = self.qdisc.dequeue(now) {
+            let class = self.tc.classify(&p);
+            let _ = qdisc.enqueue(p, class, now);
+        }
+        self.qdisc = qdisc;
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Packets dropped by the qdisc since creation.
+    pub fn drops(&self) -> u64 {
+        self.qdisc.dropped()
+    }
+
+    /// Current queue depth in packets (excluding the in-flight packet).
+    pub fn queue_len(&self) -> usize {
+        self.qdisc.len()
+    }
+
+    /// Current queue depth in bytes (excluding the in-flight packet).
+    pub fn queue_bytes(&self) -> u64 {
+        self.qdisc.byte_len()
+    }
+
+    /// Wire utilization over `[SimTime::ZERO, now]`, in `[0,1]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.as_nanos();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let mut busy = self.stats.busy_ns;
+        if self.in_flight.is_some() {
+            busy += now.saturating_since(self.tx_started).as_nanos();
+        }
+        busy as f64 / elapsed as f64
+    }
+
+    /// A packet arrives at the tail. Returns what to schedule next and
+    /// whether the packet was dropped (`true` = dropped).
+    pub fn offer(&mut self, pkt: Packet, now: SimTime) -> (LinkOutcome, bool) {
+        let class = self.tc.classify(&pkt);
+        let dropped = self.qdisc.enqueue(pkt, class, now).is_err();
+        self.stats.peak_queue_pkts = self.stats.peak_queue_pkts.max(self.qdisc.len());
+        self.stats.peak_queue_bytes = self.stats.peak_queue_bytes.max(self.qdisc.byte_len());
+        if self.in_flight.is_some() {
+            // Wire busy; on_tx_done will pick the packet up.
+            return (LinkOutcome::Idle, dropped);
+        }
+        (self.try_start(now), dropped)
+    }
+
+    /// The in-flight transmission finished. Returns the transmitted packet
+    /// (deliver to [`Link::to`] at `now + delay()`) and the next outcome.
+    ///
+    /// # Panics
+    /// Panics if called while no packet is in flight (driver bug).
+    pub fn on_tx_done(&mut self, now: SimTime) -> (Packet, LinkOutcome) {
+        let pkt = self
+            .in_flight
+            .take()
+            .expect("on_tx_done called on idle link");
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += pkt.wire_size() as u64;
+        *self.stats.tx_bytes_by_dscp.entry(pkt.dscp).or_insert(0) += pkt.wire_size() as u64;
+        self.stats.busy_ns += now.saturating_since(self.tx_started).as_nanos();
+        (pkt, self.try_start(now))
+    }
+
+    /// A scheduled shaper kick fired. Spurious kicks (wire already busy, or
+    /// nothing ready) are tolerated and return the correct next outcome.
+    pub fn on_kick(&mut self, now: SimTime) -> LinkOutcome {
+        self.pending_kick = None;
+        if self.in_flight.is_some() {
+            return LinkOutcome::Idle;
+        }
+        self.try_start(now)
+    }
+
+    fn try_start(&mut self, now: SimTime) -> LinkOutcome {
+        debug_assert!(self.in_flight.is_none());
+        match self.qdisc.dequeue(now) {
+            Deq::Packet(pkt) => {
+                let done_at = now + tx_time(pkt.wire_size() as u64, self.rate_bps);
+                self.in_flight = Some(pkt);
+                self.tx_started = now;
+                LinkOutcome::Busy { done_at }
+            }
+            Deq::NotReadyUntil(at) => {
+                // Deduplicate kicks: only ask for a new one if none is
+                // pending, or this one is strictly earlier.
+                match self.pending_kick {
+                    Some(p) if p <= at => LinkOutcome::Idle,
+                    _ => {
+                        self.pending_kick = Some(at);
+                        LinkOutcome::KickAt { at }
+                    }
+                }
+            }
+            Deq::Empty => LinkOutcome::Idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::DSCP_LATENCY;
+    use crate::qdisc::{DropTail, Tbf};
+
+    fn pkt(id: u64, payload: u32) -> Packet {
+        Packet::data(id, NodeId(0), NodeId(1), 1, 0, payload, DSCP_LATENCY)
+    }
+
+    fn mklink(rate_bps: u64) -> Link {
+        Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            rate_bps,
+            SimDuration::from_micros(50),
+            Box::new(DropTail::new(100)),
+        )
+    }
+
+    #[test]
+    fn single_packet_lifecycle() {
+        let mut link = mklink(1_000_000_000); // 1 Gbps
+        let t0 = SimTime::ZERO;
+        let (out, dropped) = link.offer(pkt(1, 1434), t0); // 1500B wire
+        assert!(!dropped);
+        let done = match out {
+            LinkOutcome::Busy { done_at } => done_at,
+            other => panic!("expected Busy, got {other:?}"),
+        };
+        // 1500B at 1 Gbps = 12 us.
+        assert_eq!(done, SimTime::from_micros(12));
+        let (sent, next) = link.on_tx_done(done);
+        assert_eq!(sent.id, 1);
+        assert_eq!(next, LinkOutcome::Idle);
+        assert_eq!(link.stats().tx_packets, 1);
+        assert_eq!(link.stats().tx_bytes, 1500);
+    }
+
+    #[test]
+    fn back_to_back_serialization() {
+        let mut link = mklink(1_000_000_000);
+        let t0 = SimTime::ZERO;
+        let (out, _) = link.offer(pkt(1, 1434), t0);
+        let d1 = match out {
+            LinkOutcome::Busy { done_at } => done_at,
+            _ => panic!(),
+        };
+        // Second packet queues behind the first.
+        let (out2, _) = link.offer(pkt(2, 1434), t0);
+        assert_eq!(out2, LinkOutcome::Idle);
+        assert_eq!(link.queue_len(), 1);
+        let (p1, next) = link.on_tx_done(d1);
+        assert_eq!(p1.id, 1);
+        let d2 = match next {
+            LinkOutcome::Busy { done_at } => done_at,
+            _ => panic!(),
+        };
+        assert_eq!(d2, d1 + SimDuration::from_micros(12));
+        let (p2, next) = link.on_tx_done(d2);
+        assert_eq!(p2.id, 2);
+        assert_eq!(next, LinkOutcome::Idle);
+    }
+
+    #[test]
+    fn drop_reported_to_caller() {
+        let mut link = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            1_000_000,
+            SimDuration::ZERO,
+            Box::new(DropTail::new(1)),
+        );
+        let t0 = SimTime::ZERO;
+        let (_, d1) = link.offer(pkt(1, 100), t0); // starts tx, queue empty
+        assert!(!d1);
+        let (_, d2) = link.offer(pkt(2, 100), t0); // queued
+        assert!(!d2);
+        let (_, d3) = link.offer(pkt(3, 100), t0); // queue full -> drop
+        assert!(d3);
+        assert_eq!(link.drops(), 1);
+    }
+
+    #[test]
+    fn shaped_qdisc_requests_kick() {
+        // TBF at 8 kbps with burst of exactly one packet.
+        let mut link = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            1_000_000_000,
+            SimDuration::ZERO,
+            Box::new(Tbf::new(8_000, 166, 10)),
+        );
+        let t0 = SimTime::ZERO;
+        let (out, _) = link.offer(pkt(1, 100), t0); // 166B wire, rides burst
+        let d1 = match out {
+            LinkOutcome::Busy { done_at } => done_at,
+            other => panic!("{other:?}"),
+        };
+        let (_, _) = link.offer(pkt(2, 100), t0);
+        let (_p, next) = link.on_tx_done(d1);
+        let at = match next {
+            LinkOutcome::KickAt { at } => at,
+            other => panic!("expected KickAt, got {other:?}"),
+        };
+        assert!(at > d1);
+        // Kick at the right time starts the next packet.
+        match link.on_kick(at) {
+            LinkOutcome::Busy { .. } => {}
+            other => panic!("expected Busy after kick, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kick_dedup() {
+        let mut link = Link::new(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            1_000_000_000,
+            SimDuration::ZERO,
+            Box::new(Tbf::new(8_000, 166, 10)),
+        );
+        let t0 = SimTime::ZERO;
+        let (out, _) = link.offer(pkt(1, 100), t0);
+        let d1 = match out {
+            LinkOutcome::Busy { done_at } => done_at,
+            _ => panic!(),
+        };
+        link.offer(pkt(2, 100), t0);
+        let (_, next) = link.on_tx_done(d1);
+        assert!(matches!(next, LinkOutcome::KickAt { .. }));
+        // Offering another packet while waiting must not duplicate the kick.
+        let (out3, _) = link.offer(pkt(3, 100), d1);
+        assert_eq!(out3, LinkOutcome::Idle);
+    }
+
+    #[test]
+    fn spurious_kick_on_idle_link_is_noop() {
+        let mut link = mklink(1_000_000);
+        assert_eq!(link.on_kick(SimTime::from_secs(1)), LinkOutcome::Idle);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut link = mklink(1_000_000); // 1 Mbps: 1500B = 12 ms
+        let t0 = SimTime::ZERO;
+        let (out, _) = link.offer(pkt(1, 1434), t0);
+        let d = match out {
+            LinkOutcome::Busy { done_at } => done_at,
+            _ => panic!(),
+        };
+        link.on_tx_done(d);
+        // Busy 12ms of 24ms elapsed = 50%.
+        let u = link.utilization(SimTime::from_millis(24));
+        assert!((u - 0.5).abs() < 0.01, "u={u}");
+    }
+
+    #[test]
+    fn set_qdisc_preserves_backlog() {
+        let mut link = mklink(1_000);
+        let t0 = SimTime::ZERO;
+        let (out, _) = link.offer(pkt(1, 100), t0);
+        assert!(matches!(out, LinkOutcome::Busy { .. }));
+        link.offer(pkt(2, 100), t0);
+        link.offer(pkt(3, 100), t0);
+        assert_eq!(link.queue_len(), 2);
+        link.set_qdisc(Box::new(DropTail::new(50)), t0);
+        assert_eq!(link.queue_len(), 2);
+    }
+
+    #[test]
+    fn per_dscp_accounting() {
+        let mut link = mklink(1_000_000_000);
+        let t0 = SimTime::ZERO;
+        let mut p = pkt(1, 934);
+        p.dscp = crate::packet::DSCP_BATCH;
+        let (out, _) = link.offer(p, t0);
+        let d = match out {
+            LinkOutcome::Busy { done_at } => done_at,
+            _ => panic!(),
+        };
+        link.on_tx_done(d);
+        assert_eq!(
+            link.stats().tx_bytes_by_dscp[&crate::packet::DSCP_BATCH],
+            1000
+        );
+    }
+}

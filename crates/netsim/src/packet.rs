@@ -1,0 +1,177 @@
+//! The packet model.
+//!
+//! A [`Packet`] is what traverses links. It deliberately carries the same
+//! header state the paper's prototype classifies on — IP addresses (for the
+//! "match the pod's IP" TC rule), a DSCP-style class byte (for in-band
+//! priority tagging, §4.2(d)), and a firewall-mark analogue — plus the
+//! transport fields (connection id, sequence, ack) the `transport` crate
+//! needs to run its congestion-control loop.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a host (a vertex of the [`crate::Topology`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a qdisc class (a TC "classid" analogue).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Debug, Default)]
+pub struct ClassId(pub u16);
+
+/// DSCP value used for latency-sensitive traffic (EF, expedited forwarding).
+pub const DSCP_LATENCY: u8 = 46;
+/// DSCP value used for latency-insensitive/batch traffic (CS1, scavenger).
+pub const DSCP_BATCH: u8 = 8;
+/// DSCP value used for mesh control-plane traffic.
+pub const DSCP_CONTROL: u8 = 48;
+
+/// What a packet carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A data segment: `seq` is the first payload byte's offset within the
+    /// connection byte stream; the payload length is in [`Packet::payload`].
+    Data,
+    /// A cumulative acknowledgement: `ack_seq` acknowledges every byte below
+    /// it. Carries no payload (header bytes only).
+    Ack,
+}
+
+/// A simulated packet.
+///
+/// Sizes: `payload` is the transport payload; [`Packet::wire_size`] adds the
+/// constant header overhead so link serialization times match what a real
+/// TCP/IP stack would see.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique packet id (assigned by the sender).
+    pub id: u64,
+    /// Sending host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Source IP in the virtual pod network (paper: TC rules match pod IPs).
+    pub src_ip: u32,
+    /// Destination IP in the virtual pod network.
+    pub dst_ip: u32,
+    /// Transport connection this packet belongs to.
+    pub conn: u64,
+    /// Data or Ack.
+    pub kind: PacketKind,
+    /// First byte offset (Data) within the connection stream.
+    pub seq: u64,
+    /// Cumulative ack point (Ack).
+    pub ack_seq: u64,
+    /// Payload bytes (0 for pure acks).
+    pub payload: u32,
+    /// DSCP-style class byte; in-band priority tagging (§4.2(d)).
+    pub dscp: u8,
+    /// Firewall-mark analogue, settable by sidecars for TC classification.
+    pub mark: u32,
+    /// Echoed timestamp for RTT sampling (sender's send time, nanoseconds).
+    pub ts_echo: u64,
+    /// Application message this segment belongs to (framing metadata that a
+    /// real stack would recover from the byte stream; carried per packet for
+    /// simulation convenience).
+    pub msg: u64,
+    /// Total length of that message, bytes.
+    pub msg_len: u64,
+}
+
+/// Fixed per-packet header overhead (Ethernet + IP + TCP-ish), bytes.
+pub const HEADER_BYTES: u32 = 66;
+
+impl Packet {
+    /// Total bytes occupied on the wire (payload + headers).
+    pub fn wire_size(&self) -> u32 {
+        self.payload + HEADER_BYTES
+    }
+
+    /// Construct a data segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        id: u64,
+        src: NodeId,
+        dst: NodeId,
+        conn: u64,
+        seq: u64,
+        payload: u32,
+        dscp: u8,
+    ) -> Packet {
+        Packet {
+            id,
+            src,
+            dst,
+            src_ip: 0,
+            dst_ip: 0,
+            conn,
+            kind: PacketKind::Data,
+            seq,
+            ack_seq: 0,
+            payload,
+            dscp,
+            mark: 0,
+            ts_echo: 0,
+            msg: 0,
+            msg_len: 0,
+        }
+    }
+
+    /// Construct a pure acknowledgement.
+    pub fn ack(id: u64, src: NodeId, dst: NodeId, conn: u64, ack_seq: u64, dscp: u8) -> Packet {
+        Packet {
+            id,
+            src,
+            dst,
+            src_ip: 0,
+            dst_ip: 0,
+            conn,
+            kind: PacketKind::Ack,
+            seq: 0,
+            ack_seq,
+            payload: 0,
+            dscp,
+            mark: 0,
+            ts_echo: 0,
+            msg: 0,
+            msg_len: 0,
+        }
+    }
+
+    /// Whether this is a pure ack.
+    pub fn is_ack(&self) -> bool {
+        self.kind == PacketKind::Ack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_headers() {
+        let p = Packet::data(1, NodeId(0), NodeId(1), 7, 0, 1448, DSCP_LATENCY);
+        assert_eq!(p.wire_size(), 1448 + HEADER_BYTES);
+        let a = Packet::ack(2, NodeId(1), NodeId(0), 7, 1448, DSCP_LATENCY);
+        assert_eq!(a.wire_size(), HEADER_BYTES);
+        assert!(a.is_ack());
+        assert!(!p.is_ack());
+    }
+
+    #[test]
+    fn node_id_debug_compact() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+    }
+
+    #[test]
+    fn dscp_constants_distinct() {
+        assert_ne!(DSCP_LATENCY, DSCP_BATCH);
+        assert_ne!(DSCP_LATENCY, DSCP_CONTROL);
+        assert_ne!(DSCP_BATCH, DSCP_CONTROL);
+    }
+}

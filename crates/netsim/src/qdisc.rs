@@ -1,0 +1,1087 @@
+//! Queueing disciplines.
+//!
+//! These model the Linux TC qdiscs the paper's prototype programs on the
+//! sidecar container's virtual interface. Each qdisc is a passive state
+//! machine; the owning [`crate::Link`] calls [`Qdisc::enqueue`] when a
+//! packet arrives and [`Qdisc::dequeue`] when the wire goes idle.
+//!
+//! Shaped qdiscs ([`Tbf`], [`HtbLite`]) may be backlogged yet unable to
+//! release a packet until tokens accumulate; they signal this with
+//! [`Deq::NotReadyUntil`], and the link schedules a retry at that instant.
+
+use crate::packet::{ClassId, Packet};
+use meshlayer_simcore::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Result of a dequeue attempt.
+#[derive(Debug)]
+pub enum Deq {
+    /// A packet is released for transmission.
+    Packet(Packet),
+    /// The qdisc is backlogged but shaping delays release until this time.
+    NotReadyUntil(SimTime),
+    /// Nothing queued.
+    Empty,
+}
+
+/// A queueing discipline.
+pub trait Qdisc: Send {
+    /// Offer `pkt` (classified as `class` by the link's TC table) to the
+    /// queue at time `now`. Returns the packet back if it was dropped.
+    fn enqueue(&mut self, pkt: Packet, class: ClassId, now: SimTime) -> Result<(), Packet>;
+
+    /// Try to release the next packet at time `now`.
+    fn dequeue(&mut self, now: SimTime) -> Deq;
+
+    /// Packets currently queued.
+    fn len(&self) -> usize;
+
+    /// `len() == 0`.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently queued (wire sizes).
+    fn byte_len(&self) -> u64;
+
+    /// Packets dropped since creation.
+    fn dropped(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// DropTail
+// ---------------------------------------------------------------------------
+
+/// A FIFO with a fixed packet-count capacity; arrivals beyond it are dropped
+/// (`pfifo` in Linux terms).
+pub struct DropTail {
+    queue: VecDeque<Packet>,
+    limit_pkts: usize,
+    bytes: u64,
+    drops: u64,
+}
+
+impl DropTail {
+    /// Create with a capacity of `limit_pkts` packets.
+    pub fn new(limit_pkts: usize) -> Self {
+        assert!(limit_pkts > 0, "zero-capacity queue");
+        DropTail {
+            queue: VecDeque::new(),
+            limit_pkts,
+            bytes: 0,
+            drops: 0,
+        }
+    }
+
+    /// Capacity in packets.
+    pub fn limit(&self) -> usize {
+        self.limit_pkts
+    }
+}
+
+impl Qdisc for DropTail {
+    fn enqueue(&mut self, pkt: Packet, _class: ClassId, _now: SimTime) -> Result<(), Packet> {
+        if self.queue.len() >= self.limit_pkts {
+            self.drops += 1;
+            return Err(pkt);
+        }
+        self.bytes += pkt.wire_size() as u64;
+        self.queue.push_back(pkt);
+        Ok(())
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Deq {
+        match self.queue.pop_front() {
+            Some(p) => {
+                self.bytes -= p.wire_size() as u64;
+                Deq::Packet(p)
+            }
+            None => Deq::Empty,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.bytes
+    }
+
+    fn dropped(&self) -> u64 {
+        self.drops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prio
+// ---------------------------------------------------------------------------
+
+/// Strict-priority bands (`prio` in Linux): band 0 is always served before
+/// band 1, and so on. Each band is an independent drop-tail FIFO.
+pub struct Prio {
+    bands: Vec<DropTail>,
+    drops: u64,
+}
+
+impl Prio {
+    /// Create `n_bands` bands, each holding up to `limit_per_band` packets.
+    pub fn new(n_bands: usize, limit_per_band: usize) -> Self {
+        assert!(n_bands > 0, "prio qdisc needs at least one band");
+        Prio {
+            bands: (0..n_bands).map(|_| DropTail::new(limit_per_band)).collect(),
+            drops: 0,
+        }
+    }
+
+    /// Number of bands.
+    pub fn n_bands(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Queue depth of one band.
+    pub fn band_len(&self, band: usize) -> usize {
+        self.bands.get(band).map_or(0, |b| b.len())
+    }
+}
+
+impl Qdisc for Prio {
+    fn enqueue(&mut self, pkt: Packet, class: ClassId, now: SimTime) -> Result<(), Packet> {
+        let band = (class.0 as usize).min(self.bands.len() - 1);
+        let r = self.bands[band].enqueue(pkt, class, now);
+        if r.is_err() {
+            self.drops += 1;
+        }
+        r
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Deq {
+        for band in &mut self.bands {
+            if let Deq::Packet(p) = band.dequeue(now) {
+                return Deq::Packet(p);
+            }
+        }
+        Deq::Empty
+    }
+
+    fn len(&self) -> usize {
+        self.bands.iter().map(|b| b.len()).sum()
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.bands.iter().map(|b| b.byte_len()).sum()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.drops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token bucket
+// ---------------------------------------------------------------------------
+
+/// A byte token bucket: refills continuously at `rate_bps`, holds at most
+/// `burst_bytes`.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate_bps: u64,
+    burst_bytes: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// Create a bucket that starts full.
+    pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
+        TokenBucket {
+            rate_bps,
+            burst_bytes: burst_bytes as f64,
+            tokens: burst_bytes as f64,
+            last: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_bps as f64 / 8.0).min(self.burst_bytes);
+        self.last = self.last.max(now);
+    }
+
+    /// Whether `bytes` tokens are available at `now`.
+    pub fn ready(&mut self, bytes: u64, now: SimTime) -> bool {
+        self.refill(now);
+        self.tokens >= bytes as f64
+    }
+
+    /// Consume `bytes` tokens (may drive the bucket negative, which models
+    /// sending a packet slightly larger than the remaining allowance —
+    /// matching Linux TBF's behaviour for MTU-sized bursts).
+    pub fn consume(&mut self, bytes: u64, now: SimTime) {
+        self.refill(now);
+        self.tokens -= bytes as f64;
+    }
+
+    /// Earliest time at which `bytes` tokens will be available.
+    pub fn ready_at(&mut self, bytes: u64, now: SimTime) -> SimTime {
+        self.refill(now);
+        if self.tokens >= bytes as f64 {
+            return now;
+        }
+        if self.rate_bps == 0 {
+            return SimTime::MAX;
+        }
+        let deficit = bytes as f64 - self.tokens;
+        let secs = deficit * 8.0 / self.rate_bps as f64;
+        now + SimDuration::from_secs_f64(secs)
+    }
+
+    /// Configured rate in bits/second.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+}
+
+/// Token-bucket filter: a shaper in front of a FIFO (`tbf` in Linux).
+pub struct Tbf {
+    inner: DropTail,
+    bucket: TokenBucket,
+}
+
+impl Tbf {
+    /// Shape to `rate_bps` with `burst_bytes` of burst over a FIFO of
+    /// `limit_pkts` packets.
+    pub fn new(rate_bps: u64, burst_bytes: u64, limit_pkts: usize) -> Self {
+        Tbf {
+            inner: DropTail::new(limit_pkts),
+            bucket: TokenBucket::new(rate_bps, burst_bytes),
+        }
+    }
+}
+
+impl Qdisc for Tbf {
+    fn enqueue(&mut self, pkt: Packet, class: ClassId, now: SimTime) -> Result<(), Packet> {
+        self.inner.enqueue(pkt, class, now)
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Deq {
+        let head_size = match self.inner.queue.front() {
+            Some(p) => p.wire_size() as u64,
+            None => return Deq::Empty,
+        };
+        let at = self.bucket.ready_at(head_size, now);
+        if at > now {
+            return Deq::NotReadyUntil(at);
+        }
+        self.bucket.consume(head_size, now);
+        self.inner.dequeue(now)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.inner.byte_len()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.inner.dropped()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DRR
+// ---------------------------------------------------------------------------
+
+/// Deficit round robin across classes, each with its own quantum —
+/// approximates weighted fair queueing (`drr` in Linux).
+pub struct Drr {
+    classes: Vec<DrrClass>,
+    /// Round-robin cursor.
+    cursor: usize,
+    drops: u64,
+}
+
+struct DrrClass {
+    queue: VecDeque<Packet>,
+    quantum: u64,
+    deficit: u64,
+    limit_pkts: usize,
+    bytes: u64,
+    /// Whether the quantum for the current visit has already been granted.
+    fresh: bool,
+}
+
+impl Drr {
+    /// Create with one class per entry of `quanta` (bytes added per round);
+    /// each class queues at most `limit_per_class` packets.
+    pub fn new(quanta: &[u64], limit_per_class: usize) -> Self {
+        assert!(!quanta.is_empty(), "drr needs at least one class");
+        assert!(quanta.iter().all(|&q| q > 0), "zero quantum");
+        Drr {
+            classes: quanta
+                .iter()
+                .map(|&q| DrrClass {
+                    queue: VecDeque::new(),
+                    quantum: q,
+                    deficit: 0,
+                    limit_pkts: limit_per_class,
+                    bytes: 0,
+                    fresh: false,
+                })
+                .collect(),
+            cursor: 0,
+            drops: 0,
+        }
+    }
+}
+
+impl Qdisc for Drr {
+    fn enqueue(&mut self, pkt: Packet, class: ClassId, _now: SimTime) -> Result<(), Packet> {
+        let idx = (class.0 as usize).min(self.classes.len() - 1);
+        let c = &mut self.classes[idx];
+        if c.queue.len() >= c.limit_pkts {
+            self.drops += 1;
+            return Err(pkt);
+        }
+        c.bytes += pkt.wire_size() as u64;
+        c.queue.push_back(pkt);
+        Ok(())
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Deq {
+        if self.len() == 0 {
+            return Deq::Empty;
+        }
+        // Shreedhar–Varghese DRR, expressed per dequeue call: each class's
+        // "visit" grants one quantum (the `fresh` flag marks a visit in
+        // progress across calls); the visit ends when the head no longer
+        // fits the deficit. An oversized head accumulates deficit across
+        // rounds, so the bound below (worst head / smallest quantum rounds)
+        // always suffices.
+        let max_rounds = {
+            let worst_head = self
+                .classes
+                .iter()
+                .filter_map(|c| c.queue.front())
+                .map(|p| p.wire_size() as u64)
+                .max()
+                .unwrap_or(0);
+            let min_quantum = self.classes.iter().map(|c| c.quantum).min().unwrap_or(1);
+            (worst_head / min_quantum + 2) as usize * self.classes.len()
+        };
+        for _ in 0..=max_rounds {
+            let cursor = self.cursor;
+            let n = self.classes.len();
+            let c = &mut self.classes[cursor];
+            if c.queue.is_empty() {
+                // Idle classes lose their deficit (standard DRR).
+                c.deficit = 0;
+                c.fresh = false;
+                self.cursor = (cursor + 1) % n;
+                continue;
+            }
+            if !c.fresh {
+                c.deficit += c.quantum;
+                c.fresh = true;
+            }
+            let sz = c.queue.front().expect("nonempty").wire_size() as u64;
+            if c.deficit >= sz {
+                c.deficit -= sz;
+                c.bytes -= sz;
+                let p = c.queue.pop_front().expect("nonempty");
+                if c.queue.is_empty() {
+                    c.deficit = 0;
+                    c.fresh = false;
+                    self.cursor = (cursor + 1) % n;
+                }
+                return Deq::Packet(p);
+            }
+            // Visit over: head exceeds remaining deficit.
+            c.fresh = false;
+            self.cursor = (cursor + 1) % n;
+        }
+        unreachable!("DRR failed to dequeue from a nonempty qdisc");
+    }
+
+    fn len(&self) -> usize {
+        self.classes.iter().map(|c| c.queue.len()).sum()
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.classes.iter().map(|c| c.bytes).sum()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.drops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTB-lite
+// ---------------------------------------------------------------------------
+
+/// Configuration of one [`HtbLite`] class.
+#[derive(Clone, Debug)]
+pub struct HtbClass {
+    /// Guaranteed rate (bits/second).
+    pub rate_bps: u64,
+    /// Ceiling the class may borrow up to (bits/second).
+    pub ceil_bps: u64,
+    /// Priority for borrowing order (0 = highest).
+    pub prio: u8,
+    /// Queue capacity in packets.
+    pub limit_pkts: usize,
+    /// Burst allowance, bytes (both buckets).
+    pub burst_bytes: u64,
+}
+
+impl HtbClass {
+    /// A class guaranteed `rate_bps`, allowed to borrow up to `ceil_bps`.
+    pub fn new(rate_bps: u64, ceil_bps: u64, prio: u8) -> Self {
+        HtbClass {
+            rate_bps,
+            ceil_bps,
+            prio,
+            limit_pkts: 1000,
+            burst_bytes: 16 * 1514,
+        }
+    }
+}
+
+struct HtbRt {
+    cfg: HtbClass,
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    rate_bucket: TokenBucket,
+    ceil_bucket: TokenBucket,
+}
+
+/// A one-level approximation of Linux HTB: classes with guaranteed rate,
+/// borrowing up to a ceiling, ordered by priority.
+///
+/// This is the qdisc the reproduction uses for the paper's "nearly-strict
+/// prioritization (up to 95 % of bandwidth)": the high-priority class gets
+/// `rate = 0.95 × link`, `ceil = link`, priority 0; the low-priority class
+/// gets the remaining 5 % guaranteed and may borrow idle capacity.
+///
+/// Dequeue order: classes within their guaranteed rate ("green"), by
+/// priority then index; then classes that can borrow under their ceiling
+/// ("yellow"), by priority then index.
+pub struct HtbLite {
+    classes: Vec<HtbRt>,
+    drops: u64,
+}
+
+impl HtbLite {
+    /// Build from class configs; packets are classified by `ClassId` index.
+    pub fn new(classes: Vec<HtbClass>) -> Self {
+        assert!(!classes.is_empty(), "htb needs at least one class");
+        HtbLite {
+            classes: classes
+                .into_iter()
+                .map(|cfg| HtbRt {
+                    rate_bucket: TokenBucket::new(cfg.rate_bps, cfg.burst_bytes),
+                    ceil_bucket: TokenBucket::new(cfg.ceil_bps, cfg.burst_bytes),
+                    queue: VecDeque::new(),
+                    bytes: 0,
+                    cfg,
+                })
+                .collect(),
+            drops: 0,
+        }
+    }
+
+    /// Queue depth of one class.
+    pub fn class_len(&self, class: usize) -> usize {
+        self.classes.get(class).map_or(0, |c| c.queue.len())
+    }
+
+    /// Indices of nonempty classes sorted by priority (then index).
+    fn by_prio(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.classes.len())
+            .filter(|&i| !self.classes[i].queue.is_empty())
+            .collect();
+        idx.sort_by_key(|&i| (self.classes[i].cfg.prio, i));
+        idx
+    }
+}
+
+impl Qdisc for HtbLite {
+    fn enqueue(&mut self, pkt: Packet, class: ClassId, _now: SimTime) -> Result<(), Packet> {
+        let idx = (class.0 as usize).min(self.classes.len() - 1);
+        let c = &mut self.classes[idx];
+        if c.queue.len() >= c.cfg.limit_pkts {
+            self.drops += 1;
+            return Err(pkt);
+        }
+        c.bytes += pkt.wire_size() as u64;
+        c.queue.push_back(pkt);
+        Ok(())
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Deq {
+        let order = self.by_prio();
+        if order.is_empty() {
+            return Deq::Empty;
+        }
+        // Pass 1: green — within guaranteed rate (and ceiling, which by
+        // construction is >= rate).
+        for &i in &order {
+            let c = &mut self.classes[i];
+            let sz = c.queue.front().expect("nonempty").wire_size() as u64;
+            if c.rate_bucket.ready(sz, now) && c.ceil_bucket.ready(sz, now) {
+                c.rate_bucket.consume(sz, now);
+                c.ceil_bucket.consume(sz, now);
+                c.bytes -= sz;
+                return Deq::Packet(c.queue.pop_front().expect("nonempty"));
+            }
+        }
+        // Pass 2: yellow — borrow, limited by the ceiling only.
+        for &i in &order {
+            let c = &mut self.classes[i];
+            let sz = c.queue.front().expect("nonempty").wire_size() as u64;
+            if c.ceil_bucket.ready(sz, now) {
+                c.ceil_bucket.consume(sz, now);
+                // Rate bucket also drains (may go negative) so green status
+                // reflects actual recent throughput.
+                c.rate_bucket.consume(sz, now);
+                c.bytes -= sz;
+                return Deq::Packet(c.queue.pop_front().expect("nonempty"));
+            }
+        }
+        // Backlogged but ceiling-limited everywhere: report earliest release.
+        let mut earliest = SimTime::MAX;
+        for &i in &order {
+            let c = &mut self.classes[i];
+            let sz = c.queue.front().expect("nonempty").wire_size() as u64;
+            earliest = earliest.min(c.ceil_bucket.ready_at(sz, now));
+        }
+        // Sub-nanosecond token deficits round `ready_at` down to `now`;
+        // report strictly-future so callers' retry loops always progress.
+        Deq::NotReadyUntil(earliest.max(now + SimDuration::from_nanos(1)))
+    }
+
+    fn len(&self) -> usize {
+        self.classes.iter().map(|c| c.queue.len()).sum()
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.classes.iter().map(|c| c.bytes).sum()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{NodeId, DSCP_BATCH, DSCP_LATENCY};
+
+    fn pkt(id: u64, payload: u32) -> Packet {
+        Packet::data(id, NodeId(0), NodeId(1), 1, 0, payload, DSCP_LATENCY)
+    }
+
+    fn drain(q: &mut dyn Qdisc, now: SimTime) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Deq::Packet(p) = q.dequeue(now) {
+            out.push(p.id);
+        }
+        out
+    }
+
+    #[test]
+    fn droptail_fifo_order_and_overflow() {
+        let mut q = DropTail::new(3);
+        let now = SimTime::ZERO;
+        for i in 0..5 {
+            let _ = q.enqueue(pkt(i, 100), ClassId(0), now);
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(drain(&mut q, now), vec![0, 1, 2]);
+        assert_eq!(q.byte_len(), 0);
+    }
+
+    #[test]
+    fn droptail_byte_accounting() {
+        let mut q = DropTail::new(10);
+        let now = SimTime::ZERO;
+        q.enqueue(pkt(0, 1000), ClassId(0), now).unwrap();
+        q.enqueue(pkt(1, 500), ClassId(0), now).unwrap();
+        assert_eq!(
+            q.byte_len(),
+            (1000 + crate::packet::HEADER_BYTES + 500 + crate::packet::HEADER_BYTES) as u64
+        );
+    }
+
+    #[test]
+    fn prio_strict_ordering() {
+        let mut q = Prio::new(2, 100);
+        let now = SimTime::ZERO;
+        // Interleave low (band 1) and high (band 0).
+        q.enqueue(pkt(10, 100), ClassId(1), now).unwrap();
+        q.enqueue(pkt(0, 100), ClassId(0), now).unwrap();
+        q.enqueue(pkt(11, 100), ClassId(1), now).unwrap();
+        q.enqueue(pkt(1, 100), ClassId(0), now).unwrap();
+        assert_eq!(drain(&mut q, now), vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn prio_clamps_out_of_range_class() {
+        let mut q = Prio::new(2, 100);
+        q.enqueue(pkt(0, 1), ClassId(9), SimTime::ZERO).unwrap();
+        assert_eq!(q.band_len(1), 1);
+    }
+
+    #[test]
+    fn prio_band_isolation_on_overflow() {
+        let mut q = Prio::new(2, 1);
+        let now = SimTime::ZERO;
+        q.enqueue(pkt(0, 1), ClassId(0), now).unwrap();
+        assert!(q.enqueue(pkt(1, 1), ClassId(0), now).is_err());
+        // Band 1 still has room.
+        q.enqueue(pkt(2, 1), ClassId(1), now).unwrap();
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn token_bucket_refill_and_ready_at() {
+        let mut tb = TokenBucket::new(8_000, 1_000); // 1000 bytes/sec, 1000 burst
+        let t0 = SimTime::ZERO;
+        assert!(tb.ready(1_000, t0));
+        tb.consume(1_000, t0);
+        assert!(!tb.ready(500, t0));
+        // 500 bytes need 0.5 s.
+        assert_eq!(tb.ready_at(500, t0), SimTime::from_millis(500));
+        assert!(tb.ready(500, SimTime::from_millis(500)));
+        // Bucket caps at burst.
+        assert!(!tb.ready(2_000, SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn tbf_shapes_to_rate() {
+        // 1 packet of 1000B payload (1066 wire) per ~second at ~8.5 kbps.
+        let mut q = Tbf::new(8_528, 1_066, 100);
+        let t0 = SimTime::ZERO;
+        for i in 0..3 {
+            q.enqueue(pkt(i, 1000), ClassId(0), t0).unwrap();
+        }
+        // First packet rides the initial burst.
+        assert!(matches!(q.dequeue(t0), Deq::Packet(p) if p.id == 0));
+        // Second must wait ~1 s.
+        match q.dequeue(t0) {
+            Deq::NotReadyUntil(at) => {
+                assert!((at.as_secs_f64() - 1.0).abs() < 0.01, "at={at}");
+                assert!(matches!(q.dequeue(at), Deq::Packet(p) if p.id == 1));
+            }
+            other => panic!("expected NotReadyUntil, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drr_shares_by_quantum() {
+        // Two classes, 3:1 quanta; equal packet sizes.
+        let mut q = Drr::new(&[3000, 1000], 1000);
+        let now = SimTime::ZERO;
+        for i in 0..40 {
+            let class = if i < 20 { 0 } else { 1 };
+            let mut p = pkt(i, 934); // wire size 1000
+            p.dscp = if class == 0 { DSCP_LATENCY } else { DSCP_BATCH };
+            q.enqueue(p, ClassId(class), now).unwrap();
+        }
+        // Drain 20 packets; class 0 (ids < 20) should get ~3x the service.
+        let mut c0 = 0;
+        let mut c1 = 0;
+        for _ in 0..20 {
+            match q.dequeue(now) {
+                Deq::Packet(p) => {
+                    if p.id < 20 {
+                        c0 += 1
+                    } else {
+                        c1 += 1
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(c0 >= 14 && c1 >= 4, "c0={c0} c1={c1}");
+    }
+
+    #[test]
+    fn drr_single_class_is_fifo() {
+        let mut q = Drr::new(&[1500], 10);
+        let now = SimTime::ZERO;
+        for i in 0..5 {
+            q.enqueue(pkt(i, 100), ClassId(0), now).unwrap();
+        }
+        assert_eq!(drain(&mut q, now), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drr_handles_oversized_packets() {
+        // Quantum far smaller than the packet: deficit must accumulate.
+        let mut q = Drr::new(&[100, 100], 10);
+        let now = SimTime::ZERO;
+        q.enqueue(pkt(0, 5000), ClassId(0), now).unwrap();
+        assert!(matches!(q.dequeue(now), Deq::Packet(p) if p.id == 0));
+    }
+
+    #[test]
+    fn htb_green_before_yellow() {
+        // Class 0: tiny guaranteed rate; class 1: large guaranteed rate but
+        // lower priority. With both backlogged and buckets fresh, both are
+        // green, so priority order decides.
+        let mut q = HtbLite::new(vec![
+            HtbClass::new(1_000_000, 10_000_000, 0),
+            HtbClass::new(9_000_000, 10_000_000, 1),
+        ]);
+        let now = SimTime::ZERO;
+        q.enqueue(pkt(1, 100), ClassId(1), now).unwrap();
+        q.enqueue(pkt(0, 100), ClassId(0), now).unwrap();
+        assert!(matches!(q.dequeue(now), Deq::Packet(p) if p.id == 0));
+        assert!(matches!(q.dequeue(now), Deq::Packet(p) if p.id == 1));
+    }
+
+    #[test]
+    fn htb_95_5_split_under_contention() {
+        // The paper's TC rule: high class gets 95 % guaranteed, low 5 %,
+        // both can use the full link when alone. Simulate a saturated
+        // 1 Mbps link by dequeueing at exactly the serialization rate.
+        let rate: u64 = 1_000_000;
+        let mut q = HtbLite::new(vec![
+            HtbClass {
+                burst_bytes: 3_000,
+                ..HtbClass::new(rate * 95 / 100, rate, 0)
+            },
+            HtbClass {
+                burst_bytes: 3_000,
+                ..HtbClass::new(rate * 5 / 100, rate, 1)
+            },
+        ]);
+        let mut now = SimTime::ZERO;
+        let wire = 1_000u64; // 934 payload + 66 header
+        let mut sent = [0u64, 0];
+        let mut next_id = 0u64;
+        // Keep both classes backlogged.
+        for _ in 0..2000 {
+            for class in 0..2u16 {
+                while q.class_len(class as usize) < 5 {
+                    let _ = q.enqueue(pkt(next_id, 934), ClassId(class), now);
+                    next_id += 1;
+                }
+            }
+            match q.dequeue(now) {
+                Deq::Packet(p) => {
+                    // Which class? ids alternate; use queue membership instead:
+                    // we tagged nothing, so infer from dscp default (class 0
+                    // and 1 enqueue identical packets) — track via payload:
+                    // simpler: check which class shrank.
+                    let _ = p;
+                    // Advance by serialization time at link rate.
+                    now += meshlayer_simcore::time::tx_time(wire, rate);
+                    // Determine class by queue length bookkeeping below.
+                }
+                Deq::NotReadyUntil(at) => {
+                    now = at;
+                    continue;
+                }
+                Deq::Empty => break,
+            }
+            // Recount: refill loop above keeps both at 5 before dequeue, so
+            // the class that now has 4 is the one that sent.
+            if q.class_len(0) < 5 {
+                sent[0] += 1;
+            } else {
+                sent[1] += 1;
+            }
+        }
+        let total = sent[0] + sent[1];
+        let share0 = sent[0] as f64 / total as f64;
+        assert!(
+            share0 > 0.90 && share0 < 0.99,
+            "high-priority share {share0} (sent {sent:?})"
+        );
+    }
+
+    #[test]
+    fn htb_borrows_when_other_class_idle() {
+        // Low class alone should use the full ceiling, not its 5 % rate.
+        let rate: u64 = 1_000_000;
+        let mut q = HtbLite::new(vec![
+            HtbClass::new(rate * 95 / 100, rate, 0),
+            HtbClass::new(rate * 5 / 100, rate, 1),
+        ]);
+        let mut now = SimTime::ZERO;
+        let mut sent = 0u64;
+        let mut id = 0;
+        let end = SimTime::from_secs(1);
+        while now < end {
+            while q.class_len(1) < 5 {
+                let _ = q.enqueue(pkt(id, 934), ClassId(1), now);
+                id += 1;
+            }
+            match q.dequeue(now) {
+                Deq::Packet(_) => {
+                    sent += 1;
+                    now += meshlayer_simcore::time::tx_time(1000, rate);
+                }
+                Deq::NotReadyUntil(at) => now = at.min(end),
+                Deq::Empty => break,
+            }
+        }
+        // Full ceiling = 125 kB/s = 125 pkts of 1000B wire size.
+        assert!(sent > 110, "only sent {sent} packets in 1s");
+    }
+
+    #[test]
+    fn htb_not_ready_until_when_ceiling_hit() {
+        // Single class with ceiling far below demand.
+        let mut q = HtbLite::new(vec![HtbClass {
+            burst_bytes: 1_000,
+            ..HtbClass::new(8_000, 8_000, 0)
+        }]);
+        let now = SimTime::ZERO;
+        q.enqueue(pkt(0, 934), ClassId(0), now).unwrap();
+        q.enqueue(pkt(1, 934), ClassId(0), now).unwrap();
+        assert!(matches!(q.dequeue(now), Deq::Packet(_)));
+        match q.dequeue(now) {
+            Deq::NotReadyUntil(at) => assert!(at > now),
+            other => panic!("expected NotReadyUntil, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn htb_drop_counts_per_class_limit() {
+        let mut q = HtbLite::new(vec![HtbClass {
+            limit_pkts: 1,
+            ..HtbClass::new(1_000, 1_000, 0)
+        }]);
+        let now = SimTime::ZERO;
+        assert!(q.enqueue(pkt(0, 1), ClassId(0), now).is_ok());
+        assert!(q.enqueue(pkt(1, 1), ClassId(0), now).is_err());
+        assert_eq!(q.dropped(), 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CoDel
+// ---------------------------------------------------------------------------
+
+/// CoDel (Controlled Delay, RFC 8289) — an AQM that drops from the head
+/// of the queue when packets have been *sojourning* longer than `target`
+/// for at least `interval`, with the drop rate increasing as
+/// `interval / sqrt(drop_count)` while the condition persists.
+///
+/// Included as the modern anti-bufferbloat baseline: the ablation
+/// harness compares it against the paper's priority-based approach (AQM
+/// bounds everyone's queueing delay; priorities *allocate* it).
+pub struct Codel {
+    queue: VecDeque<(Packet, SimTime)>,
+    limit_pkts: usize,
+    bytes: u64,
+    target: SimDuration,
+    interval: SimDuration,
+    /// Time at which the sojourn first exceeded target (None = below).
+    first_above: Option<SimTime>,
+    /// Whether we are in the dropping state.
+    dropping: bool,
+    /// Next scheduled drop time while in the dropping state.
+    drop_next: SimTime,
+    /// Drops performed in the current dropping episode.
+    count: u32,
+    drops: u64,
+}
+
+impl Codel {
+    /// CoDel with the RFC's reference parameters scaled for datacenters:
+    /// 1 ms target sojourn, 20 ms interval.
+    pub fn new(limit_pkts: usize) -> Self {
+        Self::with_params(
+            limit_pkts,
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(20),
+        )
+    }
+
+    /// CoDel with explicit target/interval.
+    pub fn with_params(limit_pkts: usize, target: SimDuration, interval: SimDuration) -> Self {
+        assert!(limit_pkts > 0, "zero-capacity queue");
+        Codel {
+            queue: VecDeque::new(),
+            limit_pkts,
+            bytes: 0,
+            target,
+            interval,
+            first_above: None,
+            dropping: false,
+            drop_next: SimTime::ZERO,
+            count: 0,
+            drops: 0,
+        }
+    }
+
+    /// Control-law interval for the current drop count.
+    fn control_law(&self, from: SimTime) -> SimTime {
+        let denom = (self.count.max(1) as f64).sqrt();
+        from + SimDuration::from_secs_f64(self.interval.as_secs_f64() / denom)
+    }
+
+    /// Pop the head; returns it with its sojourn time.
+    fn pop_head(&mut self, now: SimTime) -> Option<(Packet, SimDuration)> {
+        let (p, enq_at) = self.queue.pop_front()?;
+        self.bytes -= p.wire_size() as u64;
+        Some((p, now.saturating_since(enq_at)))
+    }
+}
+
+impl Qdisc for Codel {
+    fn enqueue(&mut self, pkt: Packet, _class: ClassId, now: SimTime) -> Result<(), Packet> {
+        if self.queue.len() >= self.limit_pkts {
+            self.drops += 1;
+            return Err(pkt);
+        }
+        self.bytes += pkt.wire_size() as u64;
+        self.queue.push_back((pkt, now));
+        Ok(())
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Deq {
+        loop {
+            let Some((pkt, sojourn)) = self.pop_head(now) else {
+                // Queue empty: leave the dropping state.
+                self.dropping = false;
+                self.first_above = None;
+                return Deq::Empty;
+            };
+            let above = sojourn > self.target;
+            if !above {
+                // Below target: reset tracking, deliver.
+                self.first_above = None;
+                self.dropping = false;
+                return Deq::Packet(pkt);
+            }
+            if self.dropping {
+                if now >= self.drop_next {
+                    // Drop this packet and tighten the control law.
+                    self.drops += 1;
+                    self.count += 1;
+                    self.drop_next = self.control_law(self.drop_next);
+                    continue;
+                }
+                return Deq::Packet(pkt);
+            }
+            // Not yet dropping: start the interval clock.
+            match self.first_above {
+                None => {
+                    self.first_above = Some(now);
+                    return Deq::Packet(pkt);
+                }
+                Some(since) if now.saturating_since(since) < self.interval => {
+                    return Deq::Packet(pkt);
+                }
+                Some(_) => {
+                    // Sustained above-target: enter dropping state, drop one.
+                    self.dropping = true;
+                    self.drops += 1;
+                    // Restart the count unless we recently dropped (RFC 8289
+                    // suggests resuming; we restart for simplicity).
+                    self.count = 1;
+                    self.drop_next = self.control_law(now);
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.bytes
+    }
+
+    fn dropped(&self) -> u64 {
+        self.drops
+    }
+}
+
+#[cfg(test)]
+mod codel_tests {
+    use super::*;
+    use crate::packet::{NodeId, DSCP_LATENCY};
+
+    fn pkt(id: u64) -> Packet {
+        Packet::data(id, NodeId(0), NodeId(1), 1, 0, 934, DSCP_LATENCY)
+    }
+
+    #[test]
+    fn passes_traffic_below_target() {
+        let mut q = Codel::new(1000);
+        let mut now = SimTime::ZERO;
+        // Enqueue/dequeue promptly: sojourn ~0, nothing dropped.
+        for i in 0..100 {
+            q.enqueue(pkt(i), ClassId(0), now).unwrap();
+            now += SimDuration::from_micros(100);
+            assert!(matches!(q.dequeue(now), Deq::Packet(_)));
+        }
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn drops_under_sustained_standing_queue() {
+        let mut q = Codel::new(10_000);
+        let t0 = SimTime::ZERO;
+        // A big standing queue enqueued at t0...
+        for i in 0..500 {
+            q.enqueue(pkt(i), ClassId(0), t0).unwrap();
+        }
+        // ...drained slowly: sojourn far above 1 ms for well over 20 ms.
+        let mut now = t0 + SimDuration::from_millis(5);
+        let mut delivered = 0;
+        for _ in 0..500 {
+            match q.dequeue(now) {
+                Deq::Packet(_) => delivered += 1,
+                Deq::Empty => break,
+                Deq::NotReadyUntil(_) => unreachable!("codel never shapes"),
+            }
+            now += SimDuration::from_millis(1);
+        }
+        assert!(q.dropped() > 10, "codel dropped {}", q.dropped());
+        assert!(delivered > 0);
+    }
+
+    #[test]
+    fn recovers_when_queue_drains() {
+        let mut q = Codel::new(1000);
+        let t0 = SimTime::ZERO;
+        for i in 0..100 {
+            q.enqueue(pkt(i), ClassId(0), t0).unwrap();
+        }
+        // Drain everything late (trigger dropping state).
+        let mut now = t0 + SimDuration::from_millis(50);
+        while !matches!(q.dequeue(now), Deq::Empty) {
+            now += SimDuration::from_millis(1);
+        }
+        let dropped_before = q.dropped();
+        // Fresh traffic with no standing queue passes untouched.
+        q.enqueue(pkt(1000), ClassId(0), now).unwrap();
+        assert!(matches!(q.dequeue(now), Deq::Packet(p) if p.id == 1000));
+        assert_eq!(q.dropped(), dropped_before);
+    }
+
+    #[test]
+    fn tail_drop_at_capacity() {
+        let mut q = Codel::new(2);
+        let t0 = SimTime::ZERO;
+        assert!(q.enqueue(pkt(0), ClassId(0), t0).is_ok());
+        assert!(q.enqueue(pkt(1), ClassId(0), t0).is_ok());
+        assert!(q.enqueue(pkt(2), ClassId(0), t0).is_err());
+        assert_eq!(q.dropped(), 1);
+    }
+}

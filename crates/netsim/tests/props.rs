@@ -1,0 +1,141 @@
+//! Property-based tests for qdiscs and classification: conservation
+//! (every enqueued packet is either delivered or counted as dropped),
+//! ordering, and classifier totality.
+
+use meshlayer_netsim::{
+    ClassId, Deq, DropTail, Drr, FilterMatch, HtbClass, HtbLite, NodeId, Packet, Prio, Qdisc,
+    TcTable,
+};
+use meshlayer_simcore::SimTime;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn pkt(id: u64, payload: u32, dscp: u8) -> Packet {
+    Packet::data(id, NodeId(0), NodeId(1), 1, 0, payload, dscp)
+}
+
+/// Drain a qdisc fully at a far-future time (so shapers are token-rich).
+fn drain(q: &mut dyn Qdisc) -> Vec<Packet> {
+    let mut out = Vec::new();
+    let mut now = SimTime::from_secs(3600);
+    loop {
+        match q.dequeue(now) {
+            Deq::Packet(p) => out.push(p),
+            Deq::NotReadyUntil(at) => {
+                assert!(at > now, "NotReadyUntil must be in the future");
+                now = at;
+            }
+            Deq::Empty => break,
+        }
+    }
+    out
+}
+
+/// Conservation check for any qdisc: enqueued = drained + dropped.
+fn conservation(q: &mut dyn Qdisc, pkts: Vec<(u32, u8, u16)>) -> Result<(), TestCaseError> {
+    let now = SimTime::ZERO;
+    let mut accepted = HashSet::new();
+    let mut dropped = 0u64;
+    for (i, (payload, dscp, class)) in pkts.into_iter().enumerate() {
+        let p = pkt(i as u64, payload % 9000, dscp);
+        match q.enqueue(p, ClassId(class % 4), now) {
+            Ok(()) => {
+                accepted.insert(i as u64);
+            }
+            Err(_) => dropped += 1,
+        }
+    }
+    prop_assert_eq!(q.dropped(), dropped);
+    let out = drain(q);
+    prop_assert_eq!(out.len(), accepted.len());
+    let out_ids: HashSet<u64> = out.iter().map(|p| p.id).collect();
+    prop_assert_eq!(out_ids, accepted);
+    prop_assert_eq!(q.len(), 0);
+    prop_assert_eq!(q.byte_len(), 0);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn droptail_conserves(pkts in prop::collection::vec((0u32..9000, any::<u8>(), any::<u16>()), 0..300)) {
+        let mut q = DropTail::new(64);
+        conservation(&mut q, pkts)?;
+    }
+
+    #[test]
+    fn prio_conserves(pkts in prop::collection::vec((0u32..9000, any::<u8>(), any::<u16>()), 0..300)) {
+        let mut q = Prio::new(3, 32);
+        conservation(&mut q, pkts)?;
+    }
+
+    #[test]
+    fn drr_conserves(pkts in prop::collection::vec((0u32..9000, any::<u8>(), any::<u16>()), 0..300)) {
+        let mut q = Drr::new(&[1500, 3000, 500], 32);
+        conservation(&mut q, pkts)?;
+    }
+
+    #[test]
+    fn htb_conserves(pkts in prop::collection::vec((0u32..9000, any::<u8>(), any::<u16>()), 0..300)) {
+        let mut q = HtbLite::new(vec![
+            HtbClass { limit_pkts: 32, ..HtbClass::new(95_000_000, 100_000_000, 0) },
+            HtbClass { limit_pkts: 32, ..HtbClass::new(5_000_000, 100_000_000, 1) },
+        ]);
+        conservation(&mut q, pkts)?;
+    }
+
+    /// DropTail preserves FIFO order among accepted packets.
+    #[test]
+    fn droptail_fifo(pkts in prop::collection::vec(0u32..1500, 1..200)) {
+        let mut q = DropTail::new(1000);
+        let now = SimTime::ZERO;
+        for (i, payload) in pkts.iter().enumerate() {
+            q.enqueue(pkt(i as u64, *payload, 0), ClassId(0), now).unwrap();
+        }
+        let out = drain(&mut q);
+        let ids: Vec<u64> = out.iter().map(|p| p.id).collect();
+        prop_assert_eq!(ids, (0..pkts.len() as u64).collect::<Vec<_>>());
+    }
+
+    /// Strict priority: after draining, every band-0 packet precedes every
+    /// band-1 packet that was enqueued before the drain began.
+    #[test]
+    fn prio_strictness(assignment in prop::collection::vec(0u16..2, 1..100)) {
+        let mut q = Prio::new(2, 1000);
+        let now = SimTime::ZERO;
+        for (i, &band) in assignment.iter().enumerate() {
+            q.enqueue(pkt(i as u64, 100, 0), ClassId(band), now).unwrap();
+        }
+        let out = drain(&mut q);
+        let first_low = out.iter().position(|p| assignment[p.id as usize] == 1);
+        if let Some(fl) = first_low {
+            for p in &out[fl..] {
+                prop_assert_eq!(assignment[p.id as usize], 1, "high after low");
+            }
+        }
+    }
+
+    /// The classifier is total: every packet gets some class, and adding a
+    /// catch-all filter makes it that class.
+    #[test]
+    fn classifier_total(dscp in any::<u8>(), mark in any::<u32>(), dst_ip in any::<u32>()) {
+        let mut t = TcTable::new(ClassId(7));
+        let mut p = pkt(1, 100, dscp);
+        p.mark = mark;
+        p.dst_ip = dst_ip;
+        prop_assert_eq!(t.classify(&p), ClassId(7));
+        t.add_filter(FilterMatch::any(), ClassId(3));
+        prop_assert_eq!(t.classify(&p), ClassId(3));
+    }
+
+    /// Filter matching is consistent: a filter built from a packet's own
+    /// fields always matches that packet.
+    #[test]
+    fn filter_self_match(dscp in any::<u8>(), mark in any::<u32>(), src_ip in any::<u32>(), dst_ip in any::<u32>()) {
+        let mut p = pkt(1, 100, dscp);
+        p.mark = mark;
+        p.src_ip = src_ip;
+        p.dst_ip = dst_ip;
+        let m = FilterMatch::any().dscp(dscp).mark(mark).src_ip(src_ip).dst_ip(dst_ip);
+        prop_assert!(m.matches(&p));
+    }
+}

@@ -1,0 +1,41 @@
+//! # meshlayer-realnet
+//!
+//! A *real* sidecar-proxy prototype over loopback TCP — the companion to
+//! the simulation that shows the paper's mechanism working on actual
+//! sockets, in the spirit of the repro target's "linkerd-style proxy".
+//!
+//! Architecture per pod (all on 127.0.0.1, threads + blocking I/O):
+//!
+//! ```text
+//!   client ──► [sidecar inbound] ──► app ──► [sidecar outbound] ──► next pod's inbound
+//! ```
+//!
+//! * [`service::MiniService`] — a minimal HTTP/1.1 app server with a
+//!   configurable compute delay, response size and optional downstream
+//!   call issued *through its own sidecar* (carrying only
+//!   `x-request-id`, like real instrumented apps);
+//! * [`proxy::SidecarProxy`] — the sidecar: inbound interception,
+//!   `x-request-id`-keyed priority propagation onto outbound requests
+//!   (§4.3 step 2), subset-aware service resolution (step 3), and
+//!   priority-scheduled, rate-limited egress via [`shaper::Shaper`]
+//!   (the TC stand-in, step 3 again);
+//! * [`registry::Registry`] — static service discovery;
+//! * [`wire`] — blocking read/write of HTTP messages using the shared
+//!   `meshlayer-http` codec.
+//!
+//! Everything binds to port 0 (OS-assigned), so tests and the demo can run
+//! anywhere without privileges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proxy;
+pub mod registry;
+pub mod service;
+pub mod shaper;
+pub mod wire;
+
+pub use proxy::{ProxyConfig, SidecarProxy};
+pub use registry::Registry;
+pub use service::{MiniService, ServiceConfig};
+pub use shaper::Shaper;

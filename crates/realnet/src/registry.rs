@@ -1,0 +1,113 @@
+//! Static service discovery for the realnet prototype.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+
+/// One registered endpoint: a pod's sidecar-inbound address plus an
+/// optional subset label (`high`/`low` in the priority experiments).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Endpoint {
+    /// The sidecar inbound listener of the pod.
+    pub addr: SocketAddr,
+    /// Subset label, if any.
+    pub label: Option<String>,
+}
+
+#[derive(Default)]
+struct Inner {
+    services: HashMap<String, Vec<Endpoint>>,
+    rr: HashMap<String, usize>,
+}
+
+/// Thread-shared service → endpoints map with round-robin resolution.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register an endpoint for `service`.
+    pub fn register(&self, service: &str, addr: SocketAddr, label: Option<&str>) {
+        let mut inner = self.inner.lock();
+        inner
+            .services
+            .entry(service.to_string())
+            .or_default()
+            .push(Endpoint {
+                addr,
+                label: label.map(str::to_string),
+            });
+    }
+
+    /// Resolve `service` (optionally narrowed to a subset label) to one
+    /// endpoint, round-robin across matches. `None` if nothing matches.
+    pub fn resolve(&self, service: &str, label: Option<&str>) -> Option<SocketAddr> {
+        let mut inner = self.inner.lock();
+        let eps = inner.services.get(service)?;
+        let matches: Vec<SocketAddr> = eps
+            .iter()
+            .filter(|e| label.is_none() || e.label.as_deref() == label)
+            .map(|e| e.addr)
+            .collect();
+        if matches.is_empty() {
+            return None;
+        }
+        let key = format!("{service}/{}", label.unwrap_or("*"));
+        let idx = inner.rr.entry(key).or_insert(0);
+        let pick = matches[*idx % matches.len()];
+        *idx += 1;
+        Some(pick)
+    }
+
+    /// Number of endpoints registered for a service.
+    pub fn count(&self, service: &str) -> usize {
+        self.inner
+            .lock()
+            .services
+            .get(service)
+            .map_or(0, |v| v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn round_robin_across_endpoints() {
+        let r = Registry::new();
+        r.register("reviews", addr(1001), None);
+        r.register("reviews", addr(1002), None);
+        let picks: Vec<SocketAddr> = (0..4).map(|_| r.resolve("reviews", None).unwrap()).collect();
+        assert_eq!(picks, vec![addr(1001), addr(1002), addr(1001), addr(1002)]);
+    }
+
+    #[test]
+    fn label_narrowing() {
+        let r = Registry::new();
+        r.register("reviews", addr(2001), Some("high"));
+        r.register("reviews", addr(2002), Some("low"));
+        assert_eq!(r.resolve("reviews", Some("high")), Some(addr(2001)));
+        assert_eq!(r.resolve("reviews", Some("low")), Some(addr(2002)));
+        assert_eq!(r.resolve("reviews", Some("nope")), None);
+        // Unlabelled resolve round-robins over everything.
+        assert!(r.resolve("reviews", None).is_some());
+    }
+
+    #[test]
+    fn unknown_service_is_none() {
+        let r = Registry::new();
+        assert_eq!(r.resolve("ghost", None), None);
+        assert_eq!(r.count("ghost"), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Minimal application servers for the realnet prototype.
+
+use crate::wire;
+use meshlayer_http::{Request, Response, HDR_PRIORITY, HDR_REQUEST_ID};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Behaviour of one mini service.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Service name (echoed in the `x-served-by` response header).
+    pub name: String,
+    /// Simulated compute time per request.
+    pub compute: Duration,
+    /// Response body size, bytes.
+    pub response_bytes: u64,
+    /// Optional downstream authority called (through the sidecar) before
+    /// responding.
+    pub downstream: Option<String>,
+}
+
+impl ServiceConfig {
+    /// A leaf service with the given compute time and response size.
+    pub fn leaf(name: impl Into<String>, compute: Duration, response_bytes: u64) -> Self {
+        ServiceConfig {
+            name: name.into(),
+            compute,
+            response_bytes,
+            downstream: None,
+        }
+    }
+
+    /// Builder: call `authority` downstream before responding.
+    pub fn with_downstream(mut self, authority: impl Into<String>) -> Self {
+        self.downstream = Some(authority.into());
+        self
+    }
+}
+
+/// A running mini service (threaded HTTP/1.1 server; one request per
+/// connection).
+pub struct MiniService {
+    addr: SocketAddr,
+    outbound: Arc<Mutex<Option<SocketAddr>>>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MiniService {
+    /// Bind on an ephemeral port and start serving.
+    pub fn spawn(cfg: ServiceConfig) -> std::io::Result<MiniService> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let outbound = Arc::new(Mutex::new(None));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let outbound = outbound.clone();
+            let shutdown = shutdown.clone();
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let cfg = cfg.clone();
+                    let outbound = outbound.clone();
+                    thread::spawn(move || {
+                        let _ = handle(stream, &cfg, &outbound);
+                    });
+                }
+            })
+        };
+        Ok(MiniService {
+            addr,
+            outbound,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The app's listen address (the sidecar's `app_addr`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Tell the app where its sidecar's outbound listener is (needed for
+    /// downstream calls; resolves the app↔sidecar bootstrap cycle).
+    pub fn set_outbound(&self, addr: SocketAddr) {
+        *self.outbound.lock() = Some(addr);
+    }
+
+    /// Stop accepting (in-flight requests finish on their own threads).
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MiniService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle(
+    mut stream: TcpStream,
+    cfg: &ServiceConfig,
+    outbound: &Mutex<Option<SocketAddr>>,
+) -> Result<(), crate::wire::WireError> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let req = wire::read_request(&mut stream)?;
+    let request_id = req.headers.get(HDR_REQUEST_ID).unwrap_or("").to_string();
+    // Downstream call through the sidecar, carrying ONLY x-request-id —
+    // the app is priority-unaware; the sidecar adds the priority header
+    // (the paper's footnote-3 propagation contract).
+    if let Some(downstream) = &cfg.downstream {
+        let out_addr = *outbound.lock();
+        if let Some(out_addr) = out_addr {
+            let mut upstream = TcpStream::connect(out_addr)?;
+            upstream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            let child = Request::get(downstream.clone(), req.path.clone())
+                .with_header(HDR_REQUEST_ID, request_id.clone());
+            wire::write_request(&mut upstream, &child)?;
+            let _ = wire::read_response(&mut upstream)?;
+        }
+    }
+    if !cfg.compute.is_zero() {
+        thread::sleep(cfg.compute);
+    }
+    let mut resp = Response::ok(cfg.response_bytes)
+        .with_header(HDR_REQUEST_ID, request_id)
+        .with_header("x-served-by", cfg.name.clone());
+    // Echo the priority so tests can observe propagation end to end.
+    if let Some(p) = req.headers.get(HDR_PRIORITY) {
+        resp.headers.set(HDR_PRIORITY, p);
+    }
+    wire::write_response(&mut stream, &resp)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_service_responds() {
+        let svc = MiniService::spawn(ServiceConfig::leaf(
+            "details",
+            Duration::from_millis(1),
+            2048,
+        ))
+        .unwrap();
+        let mut c = TcpStream::connect(svc.addr()).unwrap();
+        let req = Request::get("details", "/d/1").with_header(HDR_REQUEST_ID, "r-1");
+        wire::write_request(&mut c, &req).unwrap();
+        let resp = wire::read_response(&mut c).unwrap();
+        assert_eq!(resp.body_len, 2048);
+        assert_eq!(resp.headers.get("x-served-by"), Some("details"));
+        assert_eq!(resp.headers.get(HDR_REQUEST_ID), Some("r-1"));
+    }
+
+    #[test]
+    fn priority_echoed() {
+        let svc =
+            MiniService::spawn(ServiceConfig::leaf("svc", Duration::ZERO, 10)).unwrap();
+        let mut c = TcpStream::connect(svc.addr()).unwrap();
+        let req = Request::get("svc", "/").with_header(HDR_PRIORITY, "high");
+        wire::write_request(&mut c, &req).unwrap();
+        let resp = wire::read_response(&mut c).unwrap();
+        assert_eq!(resp.headers.get(HDR_PRIORITY), Some("high"));
+    }
+
+    #[test]
+    fn concurrent_requests_served() {
+        let svc = Arc::new(
+            MiniService::spawn(ServiceConfig::leaf("svc", Duration::from_millis(5), 128))
+                .unwrap(),
+        );
+        let addr = svc.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                thread::spawn(move || {
+                    let mut c = TcpStream::connect(addr).unwrap();
+                    let req = Request::get("svc", format!("/{i}"));
+                    wire::write_request(&mut c, &req).unwrap();
+                    wire::read_response(&mut c).unwrap().body_len
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 128);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Blocking HTTP/1.1 message I/O over `TcpStream`s.
+
+use bytes::Bytes;
+use meshlayer_http::codec::{
+    decode_request_head, decode_response_head, encode_request_head, encode_response_head,
+    find_head_end, CodecError, MAX_HEADER_BYTES,
+};
+use meshlayer_http::{Request, Response};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// I/O + parse errors.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// Malformed message.
+    Codec(CodecError),
+    /// Peer closed before a complete message arrived.
+    Eof,
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::Codec(e) => write!(f, "codec: {e}"),
+            WireError::Eof => write!(f, "connection closed mid-message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Read until a complete head (`\r\n\r\n`) is buffered; returns
+/// `(head_bytes, leftover)` where leftover is body bytes already read.
+fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), WireError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            let leftover = buf.split_off(end);
+            return Ok((buf, leftover));
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(WireError::Codec(CodecError::HeadersTooLarge));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(WireError::Eof);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Discard exactly `remaining` body bytes (we transfer sizes, not content).
+fn drain_body(
+    stream: &mut TcpStream,
+    mut leftover: usize,
+    body_len: u64,
+) -> Result<(), WireError> {
+    let mut remaining = (body_len as usize).saturating_sub(leftover);
+    leftover = 0;
+    let _ = leftover;
+    let mut chunk = [0u8; 16 * 1024];
+    while remaining > 0 {
+        let want = remaining.min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(WireError::Eof);
+        }
+        remaining -= n;
+    }
+    Ok(())
+}
+
+/// Read one request (head parsed, body drained).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, WireError> {
+    let (head, leftover) = read_head(stream)?;
+    let req = decode_request_head(&head)?;
+    drain_body(stream, leftover.len(), req.body_len)?;
+    Ok(req)
+}
+
+/// Read one response (head parsed, body drained).
+pub fn read_response(stream: &mut TcpStream) -> Result<Response, WireError> {
+    let (head, leftover) = read_head(stream)?;
+    let resp = decode_response_head(&head)?;
+    drain_body(stream, leftover.len(), resp.body_len)?;
+    Ok(resp)
+}
+
+/// Write a request head plus a zero-filled body of `req.body_len` bytes.
+pub fn write_request(stream: &mut TcpStream, req: &Request) -> Result<(), WireError> {
+    let head: Bytes = encode_request_head(req);
+    stream.write_all(&head)?;
+    write_zeros(stream, req.body_len)?;
+    Ok(())
+}
+
+/// Write a response head plus a zero-filled body, in `chunk`-sized writes
+/// gated by `gate` (the shaper hook; called once per chunk with its size).
+pub fn write_response_gated(
+    stream: &mut TcpStream,
+    resp: &Response,
+    mut gate: impl FnMut(usize),
+) -> Result<(), WireError> {
+    let head: Bytes = encode_response_head(resp);
+    gate(head.len());
+    stream.write_all(&head)?;
+    let zeros = [0u8; 16 * 1024];
+    let mut remaining = resp.body_len as usize;
+    while remaining > 0 {
+        let n = remaining.min(zeros.len());
+        gate(n);
+        stream.write_all(&zeros[..n])?;
+        remaining -= n;
+    }
+    Ok(())
+}
+
+/// Write a response without gating.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> Result<(), WireError> {
+    write_response_gated(stream, resp, |_| {})
+}
+
+fn write_zeros(stream: &mut TcpStream, len: u64) -> Result<(), WireError> {
+    let zeros = [0u8; 16 * 1024];
+    let mut remaining = len as usize;
+    while remaining > 0 {
+        let n = remaining.min(zeros.len());
+        stream.write_all(&zeros[..n])?;
+        remaining -= n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    #[test]
+    fn request_round_trip_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_request(&mut s).unwrap();
+            assert_eq!(req.path, "/reviews/1");
+            assert_eq!(req.body_len, 3000);
+            assert_eq!(req.headers.get("x-mesh-priority"), Some("high"));
+            let resp = Response::ok(5000).with_header("x-req", req.headers.get("x-request-id").unwrap_or(""));
+            write_response(&mut s, &resp).unwrap();
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        let req = Request::post("reviews", "/reviews/1", 3000)
+            .with_header("x-request-id", "r-77")
+            .with_header("x-mesh-priority", "high");
+        write_request(&mut c, &req).unwrap();
+        let resp = read_response(&mut c).unwrap();
+        assert_eq!(resp.body_len, 5000);
+        assert_eq!(resp.headers.get("x-req"), Some("r-77"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn eof_mid_message_is_detected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Write only half a head, then close.
+            s.write_all(b"HTTP/1.1 200 OK\r\ncontent-le").unwrap();
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        match read_response(&mut c) {
+            Err(WireError::Eof) => {}
+            other => panic!("expected Eof, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn gated_write_reports_all_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut gated = 0usize;
+            let resp = Response::ok(100_000);
+            write_response_gated(&mut s, &resp, |n| gated += n).unwrap();
+            gated
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        let resp = read_response(&mut c).unwrap();
+        assert_eq!(resp.body_len, 100_000);
+        let gated = server.join().unwrap();
+        assert!(gated >= 100_000, "gate saw {gated}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Deterministic, splittable randomness.
+//!
+//! All randomness in a simulation flows from a single root seed. Components
+//! obtain their own stream with [`SimRng::split`], keyed by a label, so that
+//! adding a new random consumer does not perturb the draws seen by existing
+//! ones — a property the regression tests rely on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded simulation RNG.
+///
+/// Wraps [`SmallRng`] (xoshiro256++ on 64-bit platforms): fast,
+/// deterministic for a given seed, and explicitly not cryptographic —
+/// exactly right for simulation.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create from a root seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream keyed by `label`.
+    ///
+    /// The child seed is `fnv1a(root_seed || label)`, so the mapping from
+    /// label to stream is stable across runs and across code changes that
+    /// add or remove *other* labels.
+    pub fn split(&self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.seed.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        SimRng::new(h)
+    }
+
+    /// Derive an independent child stream keyed by an index (e.g. a replica
+    /// number), composing with [`SimRng::split`] for labelled families.
+    pub fn split_idx(&self, label: &str, idx: u64) -> SimRng {
+        self.split(label).split(&idx.to_string())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Pick a uniformly random element of `xs`; `None` if empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len() as u64) as usize])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.u64() == b.u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_is_stable_and_independent() {
+        let root = SimRng::new(7);
+        let mut x1 = root.split("link");
+        let mut x2 = root.split("link");
+        assert_eq!(x1.u64(), x2.u64());
+        let mut y = root.split("pod");
+        assert_ne!(root.split("link").u64(), y.u64());
+    }
+
+    #[test]
+    fn split_idx_distinguishes() {
+        let root = SimRng::new(7);
+        let a = root.split_idx("replica", 0).u64();
+        let b = root.split_idx("replica", 1).u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let v = r.range(5, 8);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_edges() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut r = SimRng::new(11);
+        let xs = [1, 2, 3];
+        assert!(xs.contains(r.choose(&xs).unwrap()));
+        let empty: [i32; 0] = [];
+        assert!(r.choose(&empty).is_none());
+
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle was identity");
+    }
+}

@@ -1,0 +1,27 @@
+//! # meshlayer-transport
+//!
+//! Window-based reliable transport for the sidecar-to-sidecar channel.
+//!
+//! The paper's §3.4 observes that service meshes make new transport
+//! protocols deployable "while leaving the application itself unmodified",
+//! and §4.2(b) specifically proposes scavenger transports for
+//! latency-insensitive requests. This crate provides:
+//!
+//! * [`Conn`] — a reliable, message-multiplexed connection endpoint with
+//!   cumulative acks, NewReno-style loss recovery and RTO backoff;
+//! * [`cc`] — pluggable congestion control: [`cc::Reno`], [`cc::CubicLite`],
+//!   and the scavengers [`cc::Ledbat`] and [`cc::TcpLp`];
+//! * [`rtt`] — Jacobson/Karels RTT estimation with datacenter RTO clamps;
+//! * [`MuxPolicy`] — FIFO or structured-streams-style round-robin message
+//!   multiplexing over a single connection (§3.6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod conn;
+pub mod rtt;
+
+pub use cc::{CcAlgo, CongestionControl, INIT_CWND, MSS};
+pub use conn::{Conn, ConnConfig, ConnOutput, ConnStats, Delivered, MuxPolicy};
+pub use rtt::RttEstimator;

@@ -1,0 +1,29 @@
+//! # meshlayer-workload
+//!
+//! Open-loop load generation and latency measurement — the `wrk2` \[47]
+//! substitute.
+//!
+//! The paper drives its prototype with wrk2 generating "two different
+//! workloads that hit the ingress gateway simultaneously": latency-
+//! sensitive user requests and latency-insensitive batch requests with
+//! ≈200× larger responses, both with uniformly random inter-arrival times
+//! at 10–50 RPS. This crate reproduces that methodology:
+//!
+//! * [`Arrival`] — inter-arrival processes (uniform random, Poisson,
+//!   deterministic);
+//! * [`WorkloadSpec`] / [`OpenLoopGen`] — constant-throughput open-loop
+//!   generators that never slow down when the system backs up (the wrk2
+//!   property);
+//! * [`Recorder`] — latency recording *from the intended send time*, the
+//!   coordinated-omission correction wrk2 exists to make.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod generator;
+pub mod recorder;
+
+pub use arrival::Arrival;
+pub use generator::{GenRequest, OpenLoopGen, WorkloadSpec};
+pub use recorder::{ClassSummary, Recorder};

@@ -1,0 +1,56 @@
+//! The paper's case study in one example: the e-library application with
+//! a mixed latency-sensitive + batch workload, run twice — without and
+//! with provenance-driven cross-layer prioritization — printing the
+//! before/after latency distributions (a one-point slice of Fig 4).
+//!
+//! ```sh
+//! cargo run --release --example bookinfo_prioritization
+//! ```
+
+use meshlayer::apps::{elibrary, ElibraryParams};
+use meshlayer::core::{Simulation, XLayerConfig};
+use meshlayer::simcore::SimDuration;
+
+fn run(xlayer: XLayerConfig, label: &str) {
+    let params = ElibraryParams {
+        ls_rps: 40.0,
+        batch_rps: 40.0,
+        ..ElibraryParams::default()
+    };
+    let mut spec = elibrary(&params);
+    spec.xlayer = xlayer;
+    spec.config.duration = SimDuration::from_secs(12);
+    spec.config.warmup = SimDuration::from_secs(3);
+    let m = Simulation::build(spec).run();
+    println!("== {label} ==");
+    for class in ["latency-sensitive", "batch-analytics"] {
+        let c = m.class(class).expect("class ran");
+        println!(
+            "  {class:<18} n={:<5} p50={:>7.1}ms p90={:>7.1}ms p99={:>7.1}ms",
+            c.completed, c.p50_ms, c.p90_ms, c.p99_ms
+        );
+    }
+    if let Some(l) = m.link("ratings-1->switch") {
+        println!(
+            "  bottleneck (ratings uplink): {:.0}% utilized, {} drops, peak queue {} pkts",
+            l.utilization * 100.0,
+            l.drops,
+            l.peak_queue_pkts
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("e-library @ 40+40 rps, 1 Gbps bottleneck at ratings\n");
+    run(XLayerConfig::baseline(), "w/o cross-layer optimization");
+    run(
+        XLayerConfig::paper_prototype(),
+        "w/  cross-layer optimization (classify + subset routing + host TC)",
+    );
+    run(
+        XLayerConfig::full(),
+        "w/  everything (+ scavenger transport, DSCP fabric priority, compute prio)",
+    );
+    println!("see `cargo run -p meshlayer-bench --bin fig4_latency` for the full sweep");
+}

@@ -1,0 +1,156 @@
+//! The real-socket prototype end to end: a bookinfo-like chain of actual
+//! TCP services on loopback, each behind a sidecar proxy, with the
+//! bottleneck pod's egress shaped to 16 Mbit/s. Two client classes send
+//! concurrently; run once without and once with priority scheduling at
+//! the shaped egress, and compare the high-priority class's latency.
+//!
+//! This is the "it works on real sockets too" companion to the
+//! simulation — same headers, same propagation mechanism, real kernel.
+//!
+//! ```sh
+//! cargo run --release --example realnet_demo
+//! ```
+
+use meshlayer::http::{Request, HDR_PRIORITY, HDR_REQUEST_ID};
+use meshlayer::realnet::{
+    wire, MiniService, ProxyConfig, Registry, ServiceConfig, Shaper, SidecarProxy,
+};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct PodHandle {
+    _app: MiniService,
+    proxy: SidecarProxy,
+}
+
+fn pod(
+    service: &str,
+    registry: &Arc<Registry>,
+    cfg: ServiceConfig,
+    shaper: Option<Arc<Shaper>>,
+    priority_egress: bool,
+) -> PodHandle {
+    let app = MiniService::spawn(cfg).expect("bind app");
+    let proxy = SidecarProxy::spawn(ProxyConfig {
+        name: format!("{service}-pod"),
+        registry: registry.clone(),
+        app_addr: Some(app.addr()),
+        shaper,
+        priority_egress,
+        priority_routing: false,
+    })
+    .expect("bind proxy");
+    app.set_outbound(proxy.outbound_addr());
+    registry.register(service, proxy.inbound_addr(), None);
+    PodHandle { _app: app, proxy }
+}
+
+/// Issue `n` requests of one class; return sorted latencies (ms).
+fn client(
+    frontend: std::net::SocketAddr,
+    priority: &str,
+    n: usize,
+    gap: Duration,
+) -> Vec<f64> {
+    let mut lat = Vec::with_capacity(n);
+    for i in 0..n {
+        let start = Instant::now();
+        let mut c = TcpStream::connect(frontend).expect("connect frontend");
+        let req = Request::get("frontend", "/item")
+            .with_header(HDR_REQUEST_ID, format!("{priority}-{i}"))
+            .with_header(HDR_PRIORITY, priority);
+        wire::write_request(&mut c, &req).expect("send");
+        let resp = wire::read_response(&mut c).expect("recv");
+        assert!(resp.status.is_success());
+        lat.push(start.elapsed().as_secs_f64() * 1000.0);
+        std::thread::sleep(gap);
+    }
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    lat
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn run(with_priority_scheduling: bool) {
+    let registry = Arc::new(Registry::new());
+    // Bottleneck: the backend's egress is shaped to 16 Mbit/s. Priority
+    // scheduling at the shaper is the TC analogue; without it, FIFO.
+    let backend_shaper = Arc::new(Shaper::new(16_000_000));
+
+    // backend responds with 48 KiB (so each response takes ~24 ms of the
+    // shaped link); frontend calls it per request.
+    let _backend = pod(
+        "backend",
+        &registry,
+        ServiceConfig::leaf("backend", Duration::from_millis(1), 48 * 1024),
+        Some(backend_shaper),
+        with_priority_scheduling,
+    );
+    let frontend = pod(
+        "frontend",
+        &registry,
+        ServiceConfig::leaf("frontend", Duration::from_millis(1), 4 * 1024)
+            .with_downstream("backend"),
+        None,
+        with_priority_scheduling,
+    );
+    let addr = frontend.proxy.inbound_addr();
+
+    // Three concurrent low-priority bulk clients keep the shaped egress
+    // saturated for the whole run.
+    let bulk: Vec<_> = (0..3)
+        .map(|_| std::thread::spawn(move || client(addr, "low", 15, Duration::from_millis(1))))
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    let high = client(addr, "high", 20, Duration::from_millis(50));
+    let mut low = Vec::new();
+    for b in bulk {
+        low.extend(b.join().expect("bulk client"));
+    }
+    low.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let label = if with_priority_scheduling {
+        "strict-priority egress (TC analogue)"
+    } else {
+        "FIFO egress (baseline)"
+    };
+    println!("== {label} ==");
+    println!(
+        "  high: p50={:>7.1}ms p90={:>7.1}ms max={:>7.1}ms   (n={})",
+        percentile(&high, 0.5),
+        percentile(&high, 0.9),
+        high.last().unwrap(),
+        high.len()
+    );
+    println!(
+        "  low : p50={:>7.1}ms p90={:>7.1}ms max={:>7.1}ms   (n={})",
+        percentile(&low, 0.5),
+        percentile(&low, 0.9),
+        low.last().unwrap(),
+        low.len()
+    );
+    println!(
+        "  frontend sidecar propagated {} priority headers",
+        frontend
+            .proxy
+            .stats()
+            .propagated
+            .load(std::sync::atomic::Ordering::Relaxed)
+    );
+    println!();
+}
+
+fn main() {
+    println!("real loopback-TCP mesh: client -> frontend sidecar -> frontend app");
+    println!("  -> frontend sidecar (outbound, priority propagation)");
+    println!("  -> backend sidecar -> backend app; backend egress shaped to 16 Mbit/s\n");
+    run(false);
+    run(true);
+    println!("the high-priority class keeps its latency under contention only when");
+    println!("the sidecar schedules its shaped egress by provenance — the paper's");
+    println!("mechanism, on real sockets.");
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate every figure/table of EXPERIMENTS.md at full length.
+# Results land in results/ as plain text (plus the Fig 4 JSON rows).
+#
+# Full length takes tens of minutes; export MESHLAYER_SECS=10 for a
+# quick pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECS="${MESHLAYER_SECS:-60}"
+WARM="${MESHLAYER_WARMUP:-8}"
+OUT=results
+mkdir -p "$OUT"
+
+cargo build --release -p meshlayer-bench
+
+run() {
+  local secs="$1" name="$2"; shift 2
+  echo "== $name =="
+  MESHLAYER_SECS="$secs" MESHLAYER_WARMUP="$WARM" \
+    "./target/release/$name" "$@" | tee "$OUT/$name.txt"
+}
+
+run "$SECS" fig2_stack
+run "$SECS" fig3_topology
+run "$SECS" fig4_latency
+run $((SECS / 4 + 1)) t2_overhead
+run "$SECS" a1_ablation 30
+run "$SECS" a2_scavenger 40
+run $((SECS / 3 + 1)) a3_lb_tail
+run $((SECS / 3 + 1)) a4_hedging
+run $((SECS / 4 + 1)) a5_sdn
+
+echo
+echo "all experiment outputs in $OUT/"

@@ -1,0 +1,131 @@
+//! `meshctl` — a small operator CLI over the meshlayer library.
+//!
+//! ```sh
+//! meshctl topology                 # print the e-library deployment (Fig 3)
+//! meshctl run [RPS] [SECS]         # run the case study, baseline vs optimized
+//! meshctl trace [RPS] [SECS]       # run + print the slowest distributed trace
+//! meshctl ablate [RPS] [SECS]      # toggle each optimization site (A1-style)
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (positional args only).
+
+use meshlayer::apps::{elibrary, ElibraryParams};
+use meshlayer::core::{RunMetrics, SimSpec, Simulation, XLayerConfig};
+use meshlayer::mesh::Sampling;
+use meshlayer::simcore::SimDuration;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: meshctl <topology|run|trace|ablate> [RPS] [SECS]");
+    ExitCode::from(2)
+}
+
+fn spec_at(rps: f64, secs: u64, xlayer: XLayerConfig) -> SimSpec {
+    let params = ElibraryParams {
+        ls_rps: rps,
+        batch_rps: rps,
+        ..ElibraryParams::default()
+    };
+    let mut spec = elibrary(&params);
+    spec.xlayer = xlayer;
+    spec.config.duration = SimDuration::from_secs(secs);
+    spec.config.warmup = SimDuration::from_secs((secs / 4).max(1));
+    spec
+}
+
+fn summarize(label: &str, m: &RunMetrics) {
+    println!("== {label} ==");
+    print!("{}", m.render());
+    println!();
+}
+
+fn cmd_topology() -> ExitCode {
+    let sim = Simulation::build(spec_at(30.0, 1, XLayerConfig::paper_prototype()));
+    println!("{}", sim.cluster().render());
+    println!("{}", sim.fabric().topology.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(rps: f64, secs: u64) -> ExitCode {
+    eprintln!("running e-library at {rps}+{rps} rps for {secs}s, twice...");
+    let base = Simulation::build(spec_at(rps, secs, XLayerConfig::baseline())).run();
+    summarize("w/o cross-layer optimization", &base);
+    let opt = Simulation::build(spec_at(rps, secs, XLayerConfig::paper_prototype())).run();
+    summarize("w/ cross-layer optimization", &opt);
+    if let (Some(b), Some(o)) = (base.class("latency-sensitive"), opt.class("latency-sensitive")) {
+        println!(
+            "latency-sensitive speedup: p50 {:.2}x, p99 {:.2}x",
+            b.p50_ms / o.p50_ms.max(1e-9),
+            b.p99_ms / o.p99_ms.max(1e-9)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(rps: f64, secs: u64) -> ExitCode {
+    let mut spec = spec_at(rps, secs, XLayerConfig::paper_prototype());
+    spec.mesh.sampling = Sampling::Always;
+    let mut sim = Simulation::build(spec);
+    let m = sim.run();
+    println!("{}", m.render());
+    let traces = sim.tracer().traces();
+    match traces
+        .iter()
+        .filter(|t| t.root().is_some())
+        .max_by_key(|t| t.duration().unwrap_or_default())
+    {
+        Some(slowest) => {
+            println!(
+                "slowest of {} traces ({}):",
+                traces.len(),
+                slowest.duration().unwrap_or_default()
+            );
+            print!("{}", slowest.render());
+            println!("critical path: {}", slowest.critical_path().join(" -> "));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("no complete traces collected");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_ablate(rps: f64, secs: u64) -> ExitCode {
+    println!("# variant            | LS p50 | LS p99 | batch p99");
+    for (name, xl) in [
+        ("baseline", XLayerConfig::baseline()),
+        ("prototype (a+c)", XLayerConfig::paper_prototype()),
+        ("full", XLayerConfig::full()),
+    ] {
+        let m = Simulation::build(spec_at(rps, secs, xl)).run();
+        let ls = m.class("latency-sensitive");
+        let ba = m.class("batch-analytics");
+        println!(
+            "{name:<20} | {:>6.1} | {:>6.1} | {:>9.1}",
+            ls.map_or(0.0, |c| c.p50_ms),
+            ls.map_or(0.0, |c| c.p99_ms),
+            ba.map_or(0.0, |c| c.p99_ms),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rps: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(30.0);
+    let secs: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(10);
+    if rps <= 0.0 || secs == 0 {
+        return usage();
+    }
+    match cmd.as_str() {
+        "topology" => cmd_topology(),
+        "run" => cmd_run(rps, secs),
+        "trace" => cmd_trace(rps, secs),
+        "ablate" => cmd_ablate(rps, secs),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,216 @@
+//! Failure-injection integration tests: the resilience machinery (§2's
+//! sidecar function list — retries, outlier ejection, circuit breaking,
+//! timeouts) exercised through the full simulation.
+
+use meshlayer::cluster::{CallStep, ComputeConfig, ServiceBehavior, ServiceSpec};
+use meshlayer::core::{SimSpec, Simulation};
+use meshlayer::http::StatusCode;
+use meshlayer::mesh::{BreakerConfig, OutlierConfig, RetryPolicy};
+use meshlayer::simcore::{Dist, SimDuration};
+use meshlayer::workload::WorkloadSpec;
+
+fn two_tier(backend_replicas: u32) -> SimSpec {
+    let frontend = ServiceSpec::new(
+        "frontend",
+        1,
+        ServiceBehavior {
+            on_request: CallStep::call("backend", "/get"),
+            response_bytes: Dist::constant(1024.0),
+        },
+    );
+    let backend = ServiceSpec::new(
+        "backend",
+        backend_replicas,
+        ServiceBehavior {
+            on_request: CallStep::Compute(Dist::constant(0.001)),
+            response_bytes: Dist::constant(1024.0),
+        },
+    );
+    let wl = WorkloadSpec::get("u", "/get", 50.0);
+    let mut spec = SimSpec::new(vec![frontend, backend], vec![wl]);
+    spec.config.duration = SimDuration::from_secs(5);
+    spec.config.warmup = SimDuration::from_secs(1);
+    spec
+}
+
+#[test]
+fn retries_mask_a_flaky_replica() {
+    // One of two backend replicas fails 30% of requests; GET retries
+    // (default policy: 2 retries on 5xx) should mask most of it.
+    let mut sim = Simulation::build(two_tier(2));
+    let flaky = sim.cluster().endpoints("backend", None)[0];
+    sim.cluster_mut().pod_mut(flaky).failure_rate = 0.3;
+    let m = sim.run();
+    assert!(m.fleet.retries > 10, "retries happened: {}", m.fleet.retries);
+    assert!(m.fleet.resp_5xx > 0, "failures were observed upstream");
+    let failure_ratio = m.world.roots_failed as f64 / m.world.roots_started.max(1) as f64;
+    // Unmasked failure rate through one of two replicas would be ~15%;
+    // retries should cut the end-to-end rate well below that.
+    assert!(
+        failure_ratio < 0.05,
+        "end-to-end failure ratio {failure_ratio:.3} not masked by retries"
+    );
+}
+
+#[test]
+fn outlier_ejection_quarantines_a_dead_replica() {
+    // One replica always fails; outlier detection must eject it so the
+    // healthy replica serves nearly everything.
+    let mut spec = two_tier(2);
+    spec.mesh.default_policy.outlier = OutlierConfig {
+        consecutive_5xx: 3,
+        base_ejection: SimDuration::from_secs(30),
+        max_ejection_ratio: 0.5,
+    };
+    let mut sim = Simulation::build(spec);
+    let dead = sim.cluster().endpoints("backend", None)[0];
+    sim.cluster_mut().pod_mut(dead).failure_rate = 1.0;
+    let dead_name = sim.cluster().pod(dead).name.clone();
+    let m = sim.run();
+    let dead_jobs = m
+        .pods
+        .iter()
+        .find(|p| p.name == dead_name)
+        .map(|p| p.jobs)
+        .unwrap_or(0);
+    let healthy_jobs: u64 = m
+        .pods
+        .iter()
+        .filter(|p| p.name.starts_with("backend") && p.name != dead_name)
+        .map(|p| p.jobs)
+        .sum();
+    // After ejection kicks in, the dead pod receives almost nothing. (It
+    // never executes compute anyway — failure short-circuits — so compare
+    // sidecar-observed 5xx against total roots instead.)
+    assert!(
+        healthy_jobs > 100,
+        "healthy replica took the traffic: {healthy_jobs}"
+    );
+    assert_eq!(dead_jobs, 0, "dead replica fails before compute");
+    let failure_ratio = m.world.roots_failed as f64 / m.world.roots_started.max(1) as f64;
+    assert!(
+        failure_ratio < 0.1,
+        "ejection + retries should mask the dead replica: {failure_ratio:.3}"
+    );
+}
+
+#[test]
+fn total_backend_death_fails_fast_through_breaker() {
+    // Both replicas dead and retries exhausted: the breaker opens and the
+    // frontend fails fast instead of hammering.
+    let mut spec = two_tier(2);
+    spec.mesh.default_policy.breaker = BreakerConfig {
+        failure_threshold: 5,
+        open_duration: SimDuration::from_secs(60),
+        max_pending: 0,
+    };
+    spec.mesh.default_policy.retry = RetryPolicy::none();
+    let mut sim = Simulation::build(spec);
+    for pod in sim.cluster().endpoints("backend", None) {
+        sim.cluster_mut().pod_mut(pod).failure_rate = 1.0;
+    }
+    let m = sim.run();
+    assert!(m.world.roots_failed > 100, "everything fails: {:?}", m.world);
+    assert_eq!(m.world.roots_ok, 0);
+    assert!(
+        m.fleet.fail_fast > 50,
+        "breaker should fail-fast after opening: {}",
+        m.fleet.fail_fast
+    );
+}
+
+#[test]
+fn per_try_timeout_turns_hangs_into_504s_or_retries() {
+    // Backend compute takes 2 s; per-try timeout is 50 ms. With retries
+    // disabled, requests should fail as 504 within ~overall timeout.
+    let frontend = ServiceSpec::new(
+        "frontend",
+        1,
+        ServiceBehavior {
+            on_request: CallStep::call("backend", "/slow"),
+            response_bytes: Dist::constant(256.0),
+        },
+    );
+    let backend = ServiceSpec::new(
+        "backend",
+        1,
+        ServiceBehavior {
+            on_request: CallStep::Compute(Dist::constant(2.0)),
+            response_bytes: Dist::constant(256.0),
+        },
+    )
+    .with_compute(ComputeConfig {
+        workers: 64,
+        queue_limit: 8192,
+        priority_aware: false,
+    });
+    let wl = WorkloadSpec::get("u", "/slow", 20.0);
+    let mut spec = SimSpec::new(vec![frontend, backend], vec![wl]);
+    spec.mesh.default_policy.per_try_timeout = SimDuration::from_millis(50);
+    spec.mesh.default_policy.timeout = SimDuration::from_millis(500);
+    spec.mesh.default_policy.retry = RetryPolicy::none();
+    spec.config.duration = SimDuration::from_secs(4);
+    spec.config.warmup = SimDuration::from_secs(1);
+    let m = Simulation::build(spec).run();
+    // The first few attempts time out; the breaker then opens on the
+    // consecutive failures and the rest fail fast without attempts.
+    assert!(m.world.attempt_timeouts >= 5, "{:?}", m.world);
+    assert!(m.world.roots_failed > 20);
+    assert_eq!(m.world.roots_ok, 0, "nothing completes under the timeout");
+    assert!(m.fleet.fail_fast > 0, "breaker opened after repeated timeouts");
+}
+
+#[test]
+fn compute_overload_produces_503s() {
+    // A tiny queue and one worker at high load: admission control rejects.
+    let backend = ServiceSpec::new(
+        "backend",
+        1,
+        ServiceBehavior {
+            on_request: CallStep::Compute(Dist::constant(0.05)),
+            response_bytes: Dist::constant(256.0),
+        },
+    )
+    .with_compute(ComputeConfig {
+        workers: 1,
+        queue_limit: 2,
+        priority_aware: false,
+    });
+    let wl = WorkloadSpec::get("u", "/x", 100.0).with_authority("backend");
+    let mut spec = SimSpec::new(vec![backend], vec![wl]);
+    spec.mesh.default_policy.retry = RetryPolicy::none();
+    spec.config.duration = SimDuration::from_secs(4);
+    spec.config.warmup = SimDuration::from_millis(500);
+    let m = Simulation::build(spec).run();
+    // Early arrivals overflow the queue (503s); the breaker then opens on
+    // those consecutive 503s and sheds the rest without reaching the pod.
+    assert!(
+        m.world.compute_rejections > 20,
+        "queue overflow rejections: {:?}",
+        m.world
+    );
+    assert!(m.world.roots_failed > 200, "overload failures: {:?}", m.world);
+    assert!(m.fleet.fail_fast > 0, "breaker shed load");
+    // The pod's own counter agrees.
+    let pod = m.pods.iter().find(|p| p.name == "backend-1").expect("pod");
+    assert!(pod.rejected > 20);
+}
+
+#[test]
+fn status_surfaces_to_root() {
+    // A 100%-failing single backend with no retries: roots fail with the
+    // upstream's 5xx, visible in fleet counters.
+    let mut spec = two_tier(1);
+    spec.mesh.default_policy.retry = RetryPolicy::none();
+    let mut sim = Simulation::build(spec);
+    let pod = sim.cluster().endpoints("backend", None)[0];
+    sim.cluster_mut().pod_mut(pod).failure_rate = 1.0;
+    let m = sim.run();
+    assert_eq!(m.world.roots_ok, 0);
+    assert_eq!(m.world.roots_failed, m.world.roots_started);
+    // Real 5xx responses were observed until the breaker opened; the rest
+    // were shed locally.
+    assert!(m.fleet.resp_5xx > 0);
+    assert!(m.fleet.resp_5xx + m.fleet.fail_fast >= m.world.roots_failed);
+    let _ = StatusCode::INTERNAL;
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the whole simulation: conservation
+//! invariants that must hold for *any* small random application under
+//! any optimization mix.
+
+use meshlayer::cluster::{CallStep, ServiceBehavior, ServiceSpec};
+use meshlayer::core::{Classifier, Priority, SimSpec, Simulation, XLayerConfig};
+use meshlayer::simcore::{Dist, SimDuration};
+use meshlayer::workload::WorkloadSpec;
+use proptest::prelude::*;
+
+/// Build a random 1..=3-tier chain app.
+fn random_spec(
+    tiers: usize,
+    replicas: u32,
+    rps: f64,
+    svc_ms: f64,
+    resp_kb: f64,
+    xlayer_idx: usize,
+    seed: u64,
+) -> SimSpec {
+    let mut services = Vec::new();
+    for t in 0..tiers {
+        let behavior = if t + 1 < tiers {
+            ServiceBehavior {
+                on_request: CallStep::Seq(vec![
+                    CallStep::Compute(Dist::exp(svc_ms / 1000.0)),
+                    CallStep::call(format!("tier{}", t + 1), "/x"),
+                ]),
+                response_bytes: Dist::constant(resp_kb * 1024.0),
+            }
+        } else {
+            ServiceBehavior {
+                on_request: CallStep::Compute(Dist::exp(svc_ms / 1000.0)),
+                response_bytes: Dist::constant(resp_kb * 1024.0),
+            }
+        };
+        services.push(ServiceSpec::new(format!("tier{t}"), replicas, behavior));
+    }
+    let wl = WorkloadSpec::get("w", "/x", rps).with_authority("tier0");
+    let mut spec = SimSpec::new(services, vec![wl]);
+    spec.classifier = Classifier::new().route("/", Priority::High);
+    spec.xlayer = [
+        XLayerConfig::baseline(),
+        XLayerConfig::paper_prototype(),
+        XLayerConfig::full(),
+    ][xlayer_idx % 3];
+    spec.config.seed = seed;
+    spec.config.duration = SimDuration::from_secs(2);
+    spec.config.warmup = SimDuration::from_millis(300);
+    spec.config.cooldown = SimDuration::from_millis(200);
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariants that hold for any app/config: accounting conservation,
+    /// no stuck requests under generous timeouts, sane histograms.
+    #[test]
+    fn simulation_conservation(
+        tiers in 1usize..4,
+        replicas in 1u32..4,
+        rps in 5.0f64..60.0,
+        svc_ms in 0.1f64..5.0,
+        resp_kb in 0.5f64..64.0,
+        xlayer_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let spec = random_spec(tiers, replicas, rps, svc_ms, resp_kb, xlayer_idx, seed);
+        let m = Simulation::build(spec).run();
+        let w = &m.world;
+        // Every root either completed, failed, or was still in flight at
+        // the horizon (completions can't exceed starts).
+        prop_assert!(w.roots_ok + w.roots_failed <= w.roots_started);
+        // With 15s timeouts and a 2s run, nothing should *fail*.
+        prop_assert_eq!(w.roots_failed, 0, "unexpected failures: {:?}", w);
+        // The vast majority complete within the horizon.
+        prop_assert!(
+            w.roots_ok as f64 >= w.roots_started as f64 * 0.9,
+            "too many stuck: {:?}", w
+        );
+        // Sidecar accounting: every inbound is either a root's ingress
+        // arrival or some sidecar's outbound; requests still in flight at
+        // the horizon make it an inequality with small slack.
+        prop_assert!(m.fleet.inbound_requests <= m.fleet.outbound_requests + w.roots_started);
+        prop_assert!(
+            m.fleet.inbound_requests + 64 >= m.fleet.outbound_requests + w.roots_started,
+            "too many undelivered outbound requests: {:?} fleet {:?}", w, m.fleet
+        );
+        // Per-hop RPC count: every *completed* root traversed `tiers` call
+        // edges; roots in flight at the horizon may not have spawned all
+        // of theirs yet.
+        prop_assert!(w.rpcs <= w.roots_started * tiers as u64);
+        prop_assert!(w.rpcs >= w.roots_ok * tiers as u64);
+        // Latency histogram sanity.
+        if let Some(c) = m.class("w") {
+            prop_assert!(c.p50_ms <= c.p90_ms + 1e-9);
+            prop_assert!(c.p90_ms <= c.p99_ms + 1e-9);
+            prop_assert!(c.p99_ms <= c.max_ms + 1e-9);
+            prop_assert!(c.mean_ms > 0.0);
+        }
+        // Transport: bytes acked never exceed bytes sent.
+        prop_assert!(m.transport.bytes_sent >= 1);
+    }
+
+    /// Determinism for arbitrary specs: same seed, same world.
+    #[test]
+    fn simulation_determinism(seed in 0u64..500, xlayer_idx in 0usize..3) {
+        let run = || {
+            let spec = random_spec(2, 2, 20.0, 1.0, 8.0, xlayer_idx, seed);
+            let m = Simulation::build(spec).run();
+            (m.events, m.world.roots_ok, m.transport.bytes_sent)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,228 @@
+//! Reproduction smoke tests: short versions of the paper's experiments,
+//! asserting the *direction* of every headline result. The full-length
+//! regenerations live in `crates/bench/src/bin/`.
+
+use meshlayer::apps::{ecommerce, elibrary, fanout, ElibraryParams};
+use meshlayer::core::{Simulation, XLayerConfig};
+use meshlayer::mesh::LbPolicy;
+use meshlayer::simcore::SimDuration;
+
+fn elib_run(rps: f64, xlayer: XLayerConfig, secs: u64) -> meshlayer::core::RunMetrics {
+    let params = ElibraryParams {
+        ls_rps: rps,
+        batch_rps: rps,
+        ..ElibraryParams::default()
+    };
+    let mut spec = elibrary(&params);
+    spec.xlayer = xlayer;
+    spec.config.duration = SimDuration::from_secs(secs);
+    spec.config.warmup = SimDuration::from_secs(secs / 4);
+    spec.config.cooldown = SimDuration::from_secs(1);
+    Simulation::build(spec).run()
+}
+
+/// Fig 4's direction: at a contended load, cross-layer prioritization
+/// reduces latency-sensitive p99.
+#[test]
+fn fig4_direction_prioritization_helps_ls_tail() {
+    let base = elib_run(40.0, XLayerConfig::baseline(), 8);
+    let opt = elib_run(40.0, XLayerConfig::paper_prototype(), 8);
+    let b = base.class("latency-sensitive").expect("baseline ls");
+    let o = opt.class("latency-sensitive").expect("optimized ls");
+    assert!(b.completed > 150 && o.completed > 150);
+    assert!(
+        o.p99_ms < b.p99_ms,
+        "optimized p99 {:.1} !< baseline p99 {:.1}",
+        o.p99_ms,
+        b.p99_ms
+    );
+    // And the improvement is material, not epsilon.
+    assert!(
+        b.p99_ms / o.p99_ms > 1.15,
+        "speedup {:.2}x too small",
+        b.p99_ms / o.p99_ms
+    );
+}
+
+/// §4.3's side claim: batch p99 does not collapse under prioritization.
+#[test]
+fn t1_direction_batch_not_destroyed() {
+    let base = elib_run(30.0, XLayerConfig::baseline(), 8);
+    let opt = elib_run(30.0, XLayerConfig::paper_prototype(), 8);
+    let b = base.class("batch-analytics").expect("baseline batch");
+    let o = opt.class("batch-analytics").expect("optimized batch");
+    // Short runs are tail-noisy; allow generous slack while still
+    // catching a real starvation regression (which would multiply p99).
+    assert!(
+        o.p99_ms < b.p99_ms * 2.0,
+        "batch p99 exploded: {:.1} -> {:.1}",
+        b.p99_ms,
+        o.p99_ms
+    );
+    assert!(o.completed as f64 > b.completed as f64 * 0.8, "batch goodput collapsed");
+}
+
+/// The bottleneck link is where the contention lives (sanity for the
+/// whole Fig 3 setup).
+#[test]
+fn bottleneck_is_the_ratings_uplink() {
+    let m = elib_run(40.0, XLayerConfig::baseline(), 6);
+    let bottleneck = m.link("ratings-1->switch").expect("bottleneck link");
+    assert_eq!(bottleneck.rate_bps, 1_000_000_000);
+    assert!(
+        bottleneck.utilization > 0.3,
+        "bottleneck only {:.0}% utilized",
+        bottleneck.utilization * 100.0
+    );
+    // Every other link is far less utilized.
+    for l in &m.links {
+        if l.name != "ratings-1->switch" {
+            assert!(
+                l.utilization < bottleneck.utilization,
+                "{} hotter than the bottleneck",
+                l.name
+            );
+        }
+    }
+}
+
+/// A2's direction: a scavenger for batch cuts LS tail latency with no
+/// routing or TC changes.
+#[test]
+fn a2_direction_scavenger_helps() {
+    let mk = |scavenger: bool| {
+        let mut xl = XLayerConfig {
+            classify: true,
+            ..XLayerConfig::baseline()
+        };
+        if scavenger {
+            xl = xl.with_scavenger(meshlayer::transport::CcAlgo::Ledbat);
+        }
+        elib_run(40.0, xl, 8)
+    };
+    let cubic = mk(false);
+    let ledbat = mk(true);
+    let c = cubic.class("latency-sensitive").expect("ls");
+    let l = ledbat.class("latency-sensitive").expect("ls");
+    assert!(
+        l.p99_ms < c.p99_ms * 1.05,
+        "scavenger made LS worse: {:.1} vs {:.1}",
+        l.p99_ms,
+        c.p99_ms
+    );
+}
+
+/// A3's direction: latency-aware LB cuts the straggler tail versus
+/// round robin.
+#[test]
+fn a3_direction_ewma_routes_around_straggler() {
+    let run = |policy: LbPolicy| {
+        let mut spec = fanout(1, 1, 4, 2.0, 150.0);
+        spec.mesh.default_policy.lb = policy;
+        spec.config.duration = SimDuration::from_secs(6);
+        spec.config.warmup = SimDuration::from_secs(1);
+        let mut sim = Simulation::build(spec);
+        let straggler = sim.cluster().endpoints("svc-c0-d0", None)[0];
+        sim.cluster_mut().pod_mut(straggler).speed_factor = 8.0;
+        let m = sim.run();
+        m.class("fanout").expect("class").p99_ms
+    };
+    let rr = run(LbPolicy::RoundRobin);
+    let ewma = run(LbPolicy::PeakEwma);
+    assert!(
+        ewma < rr * 0.6,
+        "PeakEwma p99 {ewma:.1} not clearly better than RoundRobin {rr:.1}"
+    );
+}
+
+/// The e-commerce scenario (§4.1) runs end to end with deep call trees.
+#[test]
+fn ecommerce_scenario_serves_all_four_workloads() {
+    let mut spec = ecommerce(20.0, 8.0);
+    spec.xlayer = XLayerConfig::paper_prototype();
+    spec.config.duration = SimDuration::from_secs(6);
+    spec.config.warmup = SimDuration::from_secs(1);
+    let m = Simulation::build(spec).run();
+    for class in ["user-browse", "user-checkout", "ads-analytics", "log-collect"] {
+        let c = m.class(class).unwrap_or_else(|| panic!("{class} missing"));
+        assert!(c.completed > 5, "{class}: only {} completed", c.completed);
+    }
+    // User-facing traffic is much faster than the scans.
+    let browse = m.class("user-browse").expect("browse");
+    let ads = m.class("ads-analytics").expect("ads");
+    assert!(browse.p50_ms < ads.p50_ms);
+}
+
+/// Determinism across the whole stack at the integration level.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let m = elib_run(20.0, XLayerConfig::full(), 5);
+        (
+            m.events,
+            m.world.roots_ok,
+            m.transport.bytes_sent,
+            m.class("latency-sensitive").map(|c| c.p99_ms.to_bits()),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// A4's direction: hedging cuts the tail on a heavy-tailed backend.
+#[test]
+fn a4_direction_hedging_cuts_tail() {
+    let run = |hedge: Option<SimDuration>| {
+        let mut spec = fanout(1, 1, 4, 4.0, 100.0);
+        for svc in &mut spec.services {
+            if svc.name.starts_with("svc-") {
+                for (_, b) in &mut svc.behaviors {
+                    b.on_request = meshlayer::cluster::CallStep::Compute(
+                        meshlayer::simcore::Dist::lognormal(0.004, 1.2),
+                    );
+                }
+            }
+        }
+        spec.mesh.default_policy.hedge_after = hedge;
+        spec.config.duration = SimDuration::from_secs(8);
+        spec.config.warmup = SimDuration::from_secs(1);
+        let m = Simulation::build(spec).run();
+        (m.class("fanout").expect("class").p99_ms, m.world.hedges)
+    };
+    let (p99_off, hedges_off) = run(None);
+    let (p99_on, hedges_on) = run(Some(SimDuration::from_millis(10)));
+    assert_eq!(hedges_off, 0);
+    assert!(hedges_on > 20, "hedges issued: {hedges_on}");
+    assert!(
+        p99_on < p99_off * 0.8,
+        "hedged p99 {p99_on:.1} not clearly better than {p99_off:.1}"
+    );
+}
+
+/// A5's direction (§3.5): SDN congestion signals steer the mesh away
+/// from a saturated access link.
+#[test]
+fn a5_direction_sdn_avoids_congested_link() {
+    let run = |sdn: bool| {
+        let mut spec = fanout(1, 1, 3, 1.0, 250.0);
+        for svc in &mut spec.services {
+            if svc.name.starts_with("svc-") {
+                for (_, b) in &mut svc.behaviors {
+                    b.response_bytes = meshlayer::simcore::Dist::constant(131_072.0);
+                }
+            }
+        }
+        spec.network.default_rate_bps = 10_000_000_000;
+        spec.network = spec.network.with_pod_rate("svc-c0-d0-1", 100_000_000);
+        spec.xlayer.sdn_lb = sdn;
+        spec.config.duration = SimDuration::from_secs(6);
+        spec.config.warmup = SimDuration::from_secs(2);
+        let m = Simulation::build(spec).run();
+        m.class("fanout").expect("class").p90_ms
+    };
+    let blind = run(false);
+    let informed = run(true);
+    assert!(
+        informed < blind * 0.5,
+        "SDN-informed p90 {informed:.1} not clearly better than blind {blind:.1}"
+    );
+}
