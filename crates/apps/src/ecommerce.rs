@@ -27,9 +27,12 @@ fn labels(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
 }
 
 fn prio_split(spec: ServiceSpec) -> ServiceSpec {
-    spec.with_replica_labels(vec![labels(&[("prio", "high")]), labels(&[("prio", "low")])])
-        .with_subset(Subset::label("high", "prio", "high"))
-        .with_subset(Subset::label("low", "prio", "low"))
+    spec.with_replica_labels(vec![
+        labels(&[("prio", "high")]),
+        labels(&[("prio", "low")]),
+    ])
+    .with_subset(Subset::label("high", "prio", "high"))
+    .with_subset(Subset::label("low", "prio", "low"))
 }
 
 /// Build the e-commerce experiment: `(ls_rps, batch_rps)` split across the

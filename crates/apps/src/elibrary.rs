@@ -131,7 +131,10 @@ pub fn elibrary(params: &ElibraryParams) -> SimSpec {
             response_bytes: Dist::constant(big / 4.0),
         },
     )
-    .with_replica_labels(vec![labels(&[("prio", "high")]), labels(&[("prio", "low")])])
+    .with_replica_labels(vec![
+        labels(&[("prio", "high")]),
+        labels(&[("prio", "low")]),
+    ])
     .with_subset(Subset::label("high", "prio", "high"))
     .with_subset(Subset::label("low", "prio", "low"))
     .with_compute(ComputeConfig {

@@ -72,7 +72,11 @@ mod tests {
     #[test]
     fn chains_link_downward() {
         let spec = fanout(1, 3, 1, 1.0, 10.0);
-        let head = spec.services.iter().find(|s| s.name == "svc-c0-d0").unwrap();
+        let head = spec
+            .services
+            .iter()
+            .find(|s| s.name == "svc-c0-d0")
+            .unwrap();
         match &head.behaviors[0].1.on_request {
             CallStep::Seq(steps) => match &steps[1] {
                 CallStep::Call { service, .. } => assert_eq!(service, "svc-c0-d1"),

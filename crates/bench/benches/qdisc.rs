@@ -9,7 +9,15 @@ use meshlayer_netsim::{
 use meshlayer_simcore::SimTime;
 
 fn pkt(i: u64) -> Packet {
-    Packet::data(i, NodeId(0), NodeId(1), 1, i * 1448, 1448, (i % 2 * 38 + 8) as u8)
+    Packet::data(
+        i,
+        NodeId(0),
+        NodeId(1),
+        1,
+        i * 1448,
+        1448,
+        (i % 2 * 38 + 8) as u8,
+    )
 }
 
 fn cycle(q: &mut dyn Qdisc, iters: u64) {

@@ -6,7 +6,7 @@
 //! connections) and compares batch congestion control algorithms.
 
 use meshlayer_apps::{elibrary, ElibraryParams};
-use meshlayer_bench::RunLength;
+use meshlayer_bench::{write_telemetry_artifacts, RunLength};
 use meshlayer_core::{Simulation, XLayerConfig};
 use meshlayer_transport::CcAlgo;
 
@@ -16,7 +16,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(40.0);
-    println!("# A2: scavenger transport ablation at {rps} rps ({}s runs)", len.secs);
+    println!(
+        "# A2: scavenger transport ablation at {rps} rps ({}s runs)",
+        len.secs
+    );
     println!("# batch CC        | LS p50 | LS p99 | batch p50 | batch p99 | drops");
     for (name, scavenger, default_cc) in [
         ("cubic (baseline)", false, CcAlgo::Cubic),
@@ -49,6 +52,11 @@ fn main() {
             "{name:<17} | {:>6.1} | {:>6.1} | {:>9.1} | {:>9.1} | {:>5}",
             ls.p50_ms, ls.p99_ms, ba.p50_ms, ba.p99_ms, m.world.pkt_drops
         );
+        if scavenger && name.starts_with("ledbat") {
+            if let Err(e) = write_telemetry_artifacts("a2", &m, None) {
+                eprintln!("telemetry artifacts failed: {e}");
+            }
+        }
     }
     println!();
     println!("# Expectation: LEDBAT batch yields at the 1 Gbps queue, cutting LS tail");

@@ -7,7 +7,7 @@
 //! sidecar" direction the paper proposes.
 
 use meshlayer_apps::fanout;
-use meshlayer_bench::RunLength;
+use meshlayer_bench::{write_telemetry_artifacts, RunLength};
 use meshlayer_core::Simulation;
 use meshlayer_mesh::LbPolicy;
 
@@ -17,7 +17,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(200.0);
-    println!("# A3: LB policy vs a straggler replica ({rps} rps, {}s runs)", len.secs);
+    println!(
+        "# A3: LB policy vs a straggler replica ({rps} rps, {}s runs)",
+        len.secs
+    );
     println!("# one of 4 replicas is 8x slower (exp service time, mean 2 ms vs 16 ms)");
     println!("# policy        | p50 (ms) | p90 (ms) | p99 (ms) | straggler share");
     for policy in [
@@ -57,6 +60,11 @@ fn main() {
             c.p99_ms,
             share,
         );
+        if policy == LbPolicy::PeakEwma {
+            if let Err(e) = write_telemetry_artifacts("a3", &m, None) {
+                eprintln!("telemetry artifacts failed: {e}");
+            }
+        }
     }
     println!();
     println!("# Expectation: PeakEwma/LeastRequest starve the straggler and cut p99;");

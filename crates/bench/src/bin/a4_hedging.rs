@@ -7,7 +7,7 @@
 //! duplicate-work cost, entirely inside the sidecar.
 
 use meshlayer_apps::fanout;
-use meshlayer_bench::RunLength;
+use meshlayer_bench::{write_telemetry_artifacts, RunLength};
 use meshlayer_core::Simulation;
 use meshlayer_simcore::{Dist, SimDuration};
 
@@ -47,6 +47,11 @@ fn main() {
             "{label:>11} | {:>8.2} | {:>8.2} | {:>8.2} | {:>6} | {:>9.1}%",
             c.p50_ms, c.p90_ms, c.p99_ms, m.world.hedges, extra
         );
+        if hedge_ms == 15 {
+            if let Err(e) = write_telemetry_artifacts("a4", &m, None) {
+                eprintln!("telemetry artifacts failed: {e}");
+            }
+        }
     }
     println!();
     println!("# Expectation: a hedge delay near the service-time p90 trims p99 with");

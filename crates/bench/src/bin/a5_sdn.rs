@@ -9,7 +9,7 @@
 //! same thing from response times, §3.3's "automatic inference" path).
 
 use meshlayer_apps::fanout;
-use meshlayer_bench::RunLength;
+use meshlayer_bench::{write_telemetry_artifacts, RunLength};
 use meshlayer_core::Simulation;
 use meshlayer_mesh::LbPolicy;
 use meshlayer_simcore::Dist;
@@ -20,7 +20,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(250.0);
-    println!("# A5: SDN-coordinated load balancing at {rps} rps ({}s runs)", len.secs);
+    println!(
+        "# A5: SDN-coordinated load balancing at {rps} rps ({}s runs)",
+        len.secs
+    );
     println!("# 3 replicas; replica 1's access link is 100 Mbit/s (others 10 Gbit/s);");
     println!("# 128 KiB responses -> blind balancing saturates the slow link (~90%).");
     println!("# variant              | p50 (ms) | p90 (ms) | p99 (ms) | slow-pod share");
@@ -63,6 +66,11 @@ fn main() {
             c.p99_ms,
             slow_jobs as f64 / total.max(1) as f64 * 100.0
         );
+        if sdn {
+            if let Err(e) = write_telemetry_artifacts("a5", &m, None) {
+                eprintln!("telemetry artifacts failed: {e}");
+            }
+        }
     }
     println!();
     println!("# Expectation: the SDN signal removes the slow pod from rotation within");

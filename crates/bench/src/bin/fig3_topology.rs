@@ -39,7 +39,10 @@ fn main() {
     println!("## Request trees (stage 3-4 of the figure)");
     for (svc, path) in [("frontend", "/product"), ("frontend", "/analytics")] {
         let b = sim.cluster().behavior(svc, path).expect("behavior");
-        println!("  {svc}{path}: fan-out {} call(s)", b.on_request.call_count());
+        println!(
+            "  {svc}{path}: fan-out {} call(s)",
+            b.on_request.call_count()
+        );
     }
     println!();
     println!("## Ingress classification rules: {classifier_len}");

@@ -2,7 +2,10 @@
 //! and without cross-layer optimization) and the §4.3 batch-degradation
 //! claim (T1). Set MESHLAYER_SECS to shrink run length.
 
-use meshlayer_bench::{fig4_sweep, render_fig4, render_t1, RunLength};
+use meshlayer_bench::{
+    fig4_sweep, render_fig4, render_t1, run_elibrary_sim, write_telemetry_artifacts, RunLength,
+};
+use meshlayer_core::XLayerConfig;
 
 fn main() {
     let len = RunLength::from_env();
@@ -27,4 +30,20 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&rows).expect("serializable rows")
     );
+
+    // Telemetry artifacts from one representative optimized run at the
+    // middle load point (kept short; the sweep already covers the curve).
+    let mid = points[points.len() / 2];
+    let mut telem_len = len;
+    telem_len.secs = telem_len.secs.min(10);
+    telem_len.warmup = telem_len.warmup.min(2);
+    let (sim, m) = run_elibrary_sim(mid, XLayerConfig::paper_prototype(), telem_len);
+    match write_telemetry_artifacts("fig4", &m, Some(sim.tracer().spans())) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("wrote {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("telemetry artifacts failed: {e}"),
+    }
 }

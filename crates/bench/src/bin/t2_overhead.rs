@@ -32,7 +32,9 @@ fn main() {
     println!("# T2: latency added by sidecar interposition (chain app, 50 rps)");
     println!("# depth = number of service hops after the ingress; each hop");
     println!("# crosses two sidecars, as in the paper's architecture.");
-    println!("# hops | p50 no-mesh | p50 mesh | p99 no-mesh | p99 mesh | p99 added | per 2-sidecar hop");
+    println!(
+        "# hops | p50 no-mesh | p50 mesh | p99 no-mesh | p99 mesh | p99 added | per 2-sidecar hop"
+    );
     for depth in [1usize, 2, 4, 8] {
         let (p50_off, p99_off) = run(depth, false, len);
         let (p50_on, p99_on) = run(depth, true, len);

@@ -28,7 +28,11 @@ pub struct Subset {
 
 impl Subset {
     /// Subset selecting pods with a single `key=value` label.
-    pub fn label(name: impl Into<String>, key: impl Into<String>, value: impl Into<String>) -> Subset {
+    pub fn label(
+        name: impl Into<String>,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Subset {
         let mut selector = BTreeMap::new();
         selector.insert(key.into(), value.into());
         Subset {
@@ -133,9 +137,7 @@ pub struct Pod {
 impl Pod {
     /// Whether this pod matches a subset selector.
     pub fn matches(&self, selector: &BTreeMap<String, String>) -> bool {
-        selector
-            .iter()
-            .all(|(k, v)| self.labels.get(k) == Some(v))
+        selector.iter().all(|(k, v)| self.labels.get(k) == Some(v))
     }
 }
 
@@ -356,7 +358,10 @@ mod tests {
         let mut c = Cluster::new(&["w1", "w2"], 16);
         c.deploy(
             ServiceSpec::new("reviews", 2, ServiceBehavior::leaf(0.001, 1000.0))
-                .with_replica_labels(vec![labels(&[("prio", "high")]), labels(&[("prio", "low")])])
+                .with_replica_labels(vec![
+                    labels(&[("prio", "high")]),
+                    labels(&[("prio", "low")]),
+                ])
                 .with_subset(Subset::label("high", "prio", "high"))
                 .with_subset(Subset::label("low", "prio", "low")),
         );
@@ -394,7 +399,10 @@ mod tests {
         let c = demo_cluster();
         let high = c.endpoints("reviews", Some("high"));
         assert_eq!(high.len(), 1);
-        assert_eq!(c.pod(high[0]).labels.get("prio").map(String::as_str), Some("high"));
+        assert_eq!(
+            c.pod(high[0]).labels.get("prio").map(String::as_str),
+            Some("high")
+        );
         let low = c.endpoints("reviews", Some("low"));
         assert_eq!(low.len(), 1);
         assert_ne!(high[0], low[0]);
@@ -423,7 +431,10 @@ mod tests {
             1_000_000.0
         );
         assert_eq!(
-            c.behavior("svc", "/big/huge/2").unwrap().response_bytes.mean(),
+            c.behavior("svc", "/big/huge/2")
+                .unwrap()
+                .response_bytes
+                .mean(),
             9_000_000.0
         );
         assert!(c.behavior("other", "/").is_none());
@@ -440,7 +451,11 @@ mod tests {
     #[should_panic(expected = "already deployed")]
     fn duplicate_service_rejected() {
         let mut c = demo_cluster();
-        c.deploy(ServiceSpec::new("reviews", 1, ServiceBehavior::respond(1.0)));
+        c.deploy(ServiceSpec::new(
+            "reviews",
+            1,
+            ServiceBehavior::respond(1.0),
+        ));
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl PodCompute {
             self.rejected += 1;
             return Admission::Rejected;
         }
-        let band = if self.cfg.priority_aware && high { 0 } else { 1 };
+        let band = if self.cfg.priority_aware && high {
+            0
+        } else {
+            1
+        };
         self.bands[band].push_back(tag);
         self.peak_queue = self.peak_queue.max(self.queue_len());
         Admission::Queued

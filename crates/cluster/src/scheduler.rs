@@ -58,8 +58,9 @@ impl Scheduler {
                 .filter(|(i, &o)| o < self.capacity[*i])
                 .min_by_key(|(i, &o)| (o, *i))
                 .map(|(i, _)| i),
-            Placement::BinPack => (0..self.capacity.len())
-                .find(|&i| self.occupancy[i] < self.capacity[i]),
+            Placement::BinPack => {
+                (0..self.capacity.len()).find(|&i| self.occupancy[i] < self.capacity[i])
+            }
             Placement::Pinned(want) => {
                 let n = self.capacity.len();
                 if n == 0 {
@@ -82,15 +83,18 @@ mod tests {
     #[test]
     fn spread_balances() {
         let mut s = Scheduler::new(vec![10, 10, 10]);
-        let placements: Vec<usize> = (0..6).map(|_| s.place(Placement::Spread).unwrap()).collect();
+        let placements: Vec<usize> = (0..6)
+            .map(|_| s.place(Placement::Spread).unwrap())
+            .collect();
         assert_eq!(placements, vec![0, 1, 2, 0, 1, 2]);
     }
 
     #[test]
     fn binpack_fills_in_order() {
         let mut s = Scheduler::new(vec![2, 2]);
-        let placements: Vec<usize> =
-            (0..4).map(|_| s.place(Placement::BinPack).unwrap()).collect();
+        let placements: Vec<usize> = (0..4)
+            .map(|_| s.place(Placement::BinPack).unwrap())
+            .collect();
         assert_eq!(placements, vec![0, 0, 1, 1]);
         assert_eq!(s.place(Placement::BinPack), None, "cluster full");
     }

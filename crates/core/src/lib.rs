@@ -40,7 +40,7 @@ pub mod sdn;
 pub mod sim;
 pub mod xlayer;
 
-pub use metrics::{LinkReport, PodReport, RunMetrics, TransportReport};
+pub use metrics::{EvProfile, LinkReport, PodReport, RunMetrics, TransportReport};
 pub use netplan::{Fabric, NetworkPlan};
 pub use provenance::{request_priority, Classifier, Priority};
 pub use sdn::SdnController;

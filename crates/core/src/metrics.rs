@@ -2,6 +2,7 @@
 
 use crate::sim::{Simulation, WorldStats};
 use meshlayer_mesh::SidecarStats;
+use meshlayer_telemetry::{TelemetryConfig, TelemetryHub, TelemetrySummary, TraceAnalytics};
 use meshlayer_workload::ClassSummary;
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +55,18 @@ pub struct TransportReport {
     pub bytes_sent: u64,
 }
 
+/// Wall-time profile of one event variant in the loop.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EvProfile {
+    /// Event variant name.
+    pub event: String,
+    /// Times the variant was handled.
+    pub count: u64,
+    /// Cumulative handler wall time, nanoseconds. Host-dependent — useful
+    /// for relative hot-spot ranking, excluded from determinism checks.
+    pub wall_ns: u64,
+}
+
 /// Everything measured in one run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -75,6 +88,15 @@ pub struct RunMetrics {
     pub sim_seconds: f64,
     /// Spans collected.
     pub spans: usize,
+    /// Spans dropped at the tracer's capacity cap.
+    pub spans_dropped: u64,
+    /// Time-series telemetry: per-interval latency quantiles, gauge
+    /// series, SLO alerts.
+    pub telemetry: TelemetrySummary,
+    /// Trace-derived analytics: critical paths and per-service self time.
+    pub analytics: TraceAnalytics,
+    /// Per-event-variant loop profile, alphabetical by variant.
+    pub event_profile: Vec<EvProfile>,
 }
 
 impl RunMetrics {
@@ -144,6 +166,21 @@ impl RunMetrics {
                 transport.bytes_sent += s.bytes_sent;
             }
         }
+        let hub = std::mem::replace(
+            &mut sim.telemetry,
+            TelemetryHub::new(TelemetryConfig::default()),
+        );
+        let telemetry = hub.finish(now);
+        let analytics = TraceAnalytics::from_spans(sim.tracer.spans());
+        let event_profile = sim
+            .ev_profile
+            .iter()
+            .map(|(name, &(count, wall_ns))| EvProfile {
+                event: name.to_string(),
+                count,
+                wall_ns,
+            })
+            .collect();
         RunMetrics {
             classes,
             links,
@@ -154,6 +191,10 @@ impl RunMetrics {
             events,
             sim_seconds: now.as_secs_f64(),
             spans: sim.tracer.spans().len(),
+            spans_dropped: sim.tracer.dropped(),
+            telemetry,
+            analytics,
+            event_profile,
         }
     }
 
@@ -184,7 +225,8 @@ impl RunMetrics {
                 c.class, c.completed, c.p50_ms, c.p90_ms, c.p99_ms, c.mean_ms, c.failed
             ));
         }
-        let mut hot: Vec<&LinkReport> = self.links.iter().filter(|l| l.utilization > 0.01).collect();
+        let mut hot: Vec<&LinkReport> =
+            self.links.iter().filter(|l| l.utilization > 0.01).collect();
         hot.sort_by(|a, b| b.utilization.partial_cmp(&a.utilization).unwrap());
         for l in hot.iter().take(6) {
             out.push_str(&format!(
@@ -193,6 +235,37 @@ impl RunMetrics {
                 l.utilization * 100.0,
                 l.drops,
                 l.peak_queue_pkts
+            ));
+        }
+        out.push_str(&format!(
+            "  sidecars: {} outbound, {} retries, {} fail-fast, {} 5xx\n",
+            self.fleet.outbound_requests,
+            self.fleet.retries,
+            self.fleet.fail_fast,
+            self.fleet.resp_5xx
+        ));
+        out.push_str(&format!(
+            "  transport: {} conns, {} fast-retx, {} rto timeouts\n",
+            self.transport.connections, self.transport.fast_retx, self.transport.timeouts
+        ));
+        out.push_str(&format!(
+            "  traces: {} spans collected, {} dropped\n",
+            self.spans, self.spans_dropped
+        ));
+        out.push_str(&format!(
+            "  telemetry: {} scrapes @ {:.0}ms, {} SLO alerts\n",
+            self.telemetry.scrapes,
+            self.telemetry.interval_s * 1000.0,
+            self.telemetry.alerts.len()
+        ));
+        let mut profile: Vec<&EvProfile> = self.event_profile.iter().collect();
+        profile.sort_by_key(|p| std::cmp::Reverse(p.wall_ns));
+        for p in profile.iter().take(4) {
+            out.push_str(&format!(
+                "  ev {:<16} n={:<9} wall={:.1}ms\n",
+                p.event,
+                p.count,
+                p.wall_ns as f64 / 1e6
             ));
         }
         out

@@ -83,7 +83,8 @@ impl Fabric {
         let switch = topology.add_node("switch");
         let mut pod_node = Vec::with_capacity(cluster.pod_count());
         let mut node_pod = HashMap::new();
-        let mk = |plan: &NetworkPlan| -> Box<dyn Qdisc> { Box::new(DropTail::new(plan.queue_pkts)) };
+        let mk =
+            |plan: &NetworkPlan| -> Box<dyn Qdisc> { Box::new(DropTail::new(plan.queue_pkts)) };
         for pod in cluster.pods() {
             let n = topology.add_node(pod.name.clone());
             let service = pod
@@ -147,9 +148,21 @@ mod tests {
 
     fn cluster() -> Cluster {
         let mut c = Cluster::new(&["host"], 64);
-        c.deploy(ServiceSpec::new("frontend", 1, ServiceBehavior::respond(100.0)));
-        c.deploy(ServiceSpec::new("reviews", 2, ServiceBehavior::respond(100.0)));
-        c.deploy(ServiceSpec::new("ratings", 1, ServiceBehavior::respond(100.0)));
+        c.deploy(ServiceSpec::new(
+            "frontend",
+            1,
+            ServiceBehavior::respond(100.0),
+        ));
+        c.deploy(ServiceSpec::new(
+            "reviews",
+            2,
+            ServiceBehavior::respond(100.0),
+        ));
+        c.deploy(ServiceSpec::new(
+            "ratings",
+            1,
+            ServiceBehavior::respond(100.0),
+        ));
         c
     }
 

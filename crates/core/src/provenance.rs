@@ -149,8 +149,14 @@ mod tests {
         let c = Classifier::new()
             .route("/product", Priority::High)
             .route("/analytics", Priority::Low);
-        assert_eq!(c.classify(&Request::get("f", "/product/42")), Priority::High);
-        assert_eq!(c.classify(&Request::get("f", "/analytics/scan")), Priority::Low);
+        assert_eq!(
+            c.classify(&Request::get("f", "/product/42")),
+            Priority::High
+        );
+        assert_eq!(
+            c.classify(&Request::get("f", "/analytics/scan")),
+            Priority::Low
+        );
         assert_eq!(c.classify(&Request::get("f", "/other")), Priority::Low);
         assert_eq!(c.len(), 2);
     }
@@ -170,7 +176,10 @@ mod tests {
             .route("/api", Priority::Low)
             .route("/api/urgent", Priority::High);
         // The broader rule shadows the later one (ordered semantics).
-        assert_eq!(c.classify(&Request::get("f", "/api/urgent/1")), Priority::Low);
+        assert_eq!(
+            c.classify(&Request::get("f", "/api/urgent/1")),
+            Priority::Low
+        );
     }
 
     #[test]

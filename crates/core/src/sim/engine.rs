@@ -23,6 +23,12 @@ impl Simulation {
             let t = SimTime::ZERO + self.spec.config.control_tick;
             self.queue.push(t, Ev::ControlTick);
         }
+        {
+            let t = SimTime::ZERO + self.telemetry.interval();
+            if t < self.end_at {
+                self.queue.push(t, Ev::TelemetryTick);
+            }
+        }
         let mut processed: u64 = 0;
         // Generous runaway guard: the densest expected runs are tens of
         // millions of events; a run hitting this bound is a driver bug.
@@ -31,7 +37,13 @@ impl Simulation {
             if t > self.end_at {
                 break;
             }
+            let name = ev.name();
+            let wall = std::time::Instant::now();
             self.handle(ev, t);
+            let spent = wall.elapsed().as_nanos() as u64;
+            let slot = self.ev_profile.entry(name).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += spent;
             processed += 1;
             assert!(processed < max_events, "event-loop runaway");
         }
@@ -64,6 +76,88 @@ impl Simulation {
             Ev::HedgeFire { rpc, attempt } => self.on_hedge_fire(rpc, attempt, now),
             Ev::SdnTick => self.on_sdn_tick(now),
             Ev::ControlTick => self.on_control_tick(now),
+            Ev::TelemetryTick => self.on_telemetry_tick(now),
+        }
+    }
+
+    /// One telemetry scrape: sample every link (per-interval utilization,
+    /// queue depth, drop delta), every pod's compute queue, and each
+    /// sidecar's counter deltas, then roll latency intervals forward and
+    /// evaluate SLO burn-rate rules.
+    fn on_telemetry_tick(&mut self, now: SimTime) {
+        use meshlayer_telemetry::GaugeKind;
+        let elapsed_ns = now.saturating_since(self.scrape.last_at).as_nanos().max(1);
+
+        // Links: utilization over the interval from the busy-time delta.
+        let link_samples: Vec<(meshlayer_netsim::LinkId, String, f64, usize, u64)> = self
+            .fabric
+            .topology
+            .links()
+            .map(|l| {
+                let name = format!(
+                    "{}->{}",
+                    self.fabric.topology.node_name(l.from()),
+                    self.fabric.topology.node_name(l.to())
+                );
+                let (prev_busy, prev_drops) =
+                    self.scrape.links.get(&l.id()).copied().unwrap_or((0, 0));
+                let busy = l.stats().busy_ns;
+                let drops = l.drops();
+                self.scrape.links.insert(l.id(), (busy, drops));
+                let util =
+                    (busy.saturating_sub(prev_busy) as f64 / elapsed_ns as f64).clamp(0.0, 1.0);
+                (l.id(), name, util, l.queue_len(), drops - prev_drops)
+            })
+            .collect();
+        for (_, name, util, queue, drops) in link_samples {
+            self.telemetry
+                .scrape_gauge(GaugeKind::LinkUtilization, &name, now, util);
+            self.telemetry
+                .scrape_gauge(GaugeKind::LinkQueueDepth, &name, now, queue as f64);
+            self.telemetry
+                .scrape_gauge(GaugeKind::LinkDrops, &name, now, drops as f64);
+        }
+
+        // Pods: instantaneous compute-queue depth.
+        let pod_samples: Vec<(String, usize)> = self
+            .cluster
+            .pods()
+            .map(|p| (p.name.clone(), p.compute.queue_len()))
+            .collect();
+        for (name, depth) in pod_samples {
+            self.telemetry
+                .scrape_gauge(GaugeKind::PodComputeQueue, &name, now, depth as f64);
+        }
+
+        // Sidecars: counter deltas since the previous scrape.
+        let mut pods: Vec<_> = self.sidecars.keys().copied().collect();
+        pods.sort();
+        for pod in pods {
+            let (name, stats) = {
+                let sc = &self.sidecars[&pod];
+                (sc.name().to_string(), sc.stats().clone())
+            };
+            let prev = self.scrape.sidecars.entry(pod).or_default();
+            let samples = [
+                (
+                    GaugeKind::SidecarRequests,
+                    stats.outbound_requests - prev.outbound_requests,
+                ),
+                (GaugeKind::SidecarRetries, stats.retries - prev.retries),
+                (GaugeKind::SidecarFailFast, stats.fail_fast - prev.fail_fast),
+                (GaugeKind::Sidecar5xx, stats.resp_5xx - prev.resp_5xx),
+            ];
+            *prev = stats;
+            for (kind, delta) in samples {
+                self.telemetry.scrape_gauge(kind, &name, now, delta as f64);
+            }
+        }
+
+        self.telemetry.on_scrape(now);
+        self.scrape.last_at = now;
+        let next = now + self.telemetry.interval();
+        if next < self.end_at {
+            self.queue.push(next, Ev::TelemetryTick);
         }
     }
 
@@ -130,7 +224,8 @@ impl Simulation {
         let delay = link.delay();
         let to = link.to();
         let (pkt, next) = link.on_tx_done(now);
-        self.queue.push(now + delay, Ev::PktArrive { pkt, node: to });
+        self.queue
+            .push(now + delay, Ev::PktArrive { pkt, node: to });
         self.apply_link_outcome(link_id, next);
     }
 

@@ -26,13 +26,15 @@ use crate::provenance::{Classifier, Priority};
 use crate::xlayer::{self, XLayerConfig};
 use meshlayer_cluster::{Cluster, PodId, ServiceSpec};
 use meshlayer_http::{Request, Response, RouteRule, StatusCode};
-use meshlayer_mesh::{ControlPlane, InboundCtx, MeshConfig, Sidecar, Tracer};
+use meshlayer_mesh::SidecarStats;
+use meshlayer_mesh::{ControlPlane, InboundCtx, MeshConfig, Sidecar, SpanId, TraceId, Tracer};
 use meshlayer_netsim::{LinkId, NodeId, Packet};
 use meshlayer_simcore::{Dist, EventQueue, SimDuration, SimRng, SimTime};
+use meshlayer_telemetry::{TelemetryConfig, TelemetryHub};
 use meshlayer_transport::{CcAlgo, Conn, ConnConfig, MuxPolicy};
 use meshlayer_workload::{OpenLoopGen, Recorder, WorkloadSpec};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Scalar knobs of a run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -64,6 +66,8 @@ pub struct SimConfig {
     /// Control-plane housekeeping period: telemetry reports + certificate
     /// rotation.
     pub control_tick: SimDuration,
+    /// Time-series telemetry: scrape interval and SLO targets.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
@@ -83,6 +87,7 @@ impl Default for SimConfig {
             conns_per_pair: 4,
             sdn_tick: SimDuration::from_millis(50),
             control_tick: SimDuration::from_secs(1),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -143,13 +148,22 @@ pub(crate) enum Ev {
     /// A connection's RTO timer fires.
     ConnTimer { conn: u64, dir: u8, gen: u64 },
     /// Hand a message to a connection endpoint (after sidecar overhead).
-    SendMsg { conn: u64, dir: u8, msg: u64, bytes: u64 },
+    SendMsg {
+        conn: u64,
+        dir: u8,
+        msg: u64,
+        bytes: u64,
+    },
     /// Start interpreting an inbound request's behaviour tree.
     ExecStart { exec: u64 },
     /// A compute job finished on a pod.
     ComputeDone { pod: PodId, token: u64 },
     /// A response reached the calling sidecar (post-overhead).
-    AttemptResponse { rpc: u64, attempt: u32, status: StatusCode },
+    AttemptResponse {
+        rpc: u64,
+        attempt: u32,
+        status: StatusCode,
+    },
     /// Per-attempt timeout.
     PerTryTimeout { rpc: u64, attempt: u32 },
     /// Whole-request timeout.
@@ -162,6 +176,45 @@ pub(crate) enum Ev {
     SdnTick,
     /// Control plane housekeeping: telemetry collection, cert rotation.
     ControlTick,
+    /// Telemetry scrape: sample links, pods, and sidecars into the
+    /// time-series hub and roll latency intervals forward.
+    TelemetryTick,
+}
+
+impl Ev {
+    /// Variant name, for the per-event profiling counters.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Ev::Arrival { .. } => "Arrival",
+            Ev::LinkTx { .. } => "LinkTx",
+            Ev::LinkKick { .. } => "LinkKick",
+            Ev::PktArrive { .. } => "PktArrive",
+            Ev::ConnTimer { .. } => "ConnTimer",
+            Ev::SendMsg { .. } => "SendMsg",
+            Ev::ExecStart { .. } => "ExecStart",
+            Ev::ComputeDone { .. } => "ComputeDone",
+            Ev::AttemptResponse { .. } => "AttemptResponse",
+            Ev::PerTryTimeout { .. } => "PerTryTimeout",
+            Ev::RpcTimeout { .. } => "RpcTimeout",
+            Ev::RetryFire { .. } => "RetryFire",
+            Ev::HedgeFire { .. } => "HedgeFire",
+            Ev::SdnTick => "SdnTick",
+            Ev::ControlTick => "ControlTick",
+            Ev::TelemetryTick => "TelemetryTick",
+        }
+    }
+}
+
+/// Per-entity snapshots from the previous telemetry scrape, so cumulative
+/// counters can be reported as per-interval deltas.
+#[derive(Default)]
+pub(crate) struct ScrapeState {
+    /// When the previous scrape ran.
+    pub last_at: SimTime,
+    /// Per link: (busy_ns, drops) at the previous scrape.
+    pub links: HashMap<LinkId, (u64, u64)>,
+    /// Per sidecar: counter snapshot at the previous scrape.
+    pub sidecars: HashMap<PodId, SidecarStats>,
 }
 
 // ---------------------------------------------------------------------------
@@ -221,6 +274,18 @@ pub(crate) struct Rpc {
     pub attempts: Vec<AttemptState>,
     pub pool_size: usize,
     pub completed: bool,
+    /// Client span to record at completion (sampled traces only).
+    pub span: Option<ClientSpanCtx>,
+}
+
+/// The pending client span of a sampled outbound RPC. `id` is the span id
+/// `annotate_outbound` stamped into `x-b3-spanid` (so the callee's server
+/// span parents onto it); `parent` is the caller's own server span.
+pub(crate) struct ClientSpanCtx {
+    pub trace: TraceId,
+    pub id: SpanId,
+    pub parent: SpanId,
+    pub started: SimTime,
 }
 
 impl Rpc {
@@ -324,6 +389,10 @@ pub struct Simulation {
     pub(crate) sdn: crate::sdn::SdnController,
     pub(crate) recorder: Recorder,
     pub(crate) tracer: Tracer,
+    pub(crate) telemetry: TelemetryHub,
+    pub(crate) scrape: ScrapeState,
+    /// Per-Ev-variant profiling: (count, cumulative handler wall nanos).
+    pub(crate) ev_profile: BTreeMap<&'static str, (u64, u64)>,
     pub(crate) rng: SimRng,
     pub(crate) stats: WorldStats,
     pub(crate) end_at: SimTime,
@@ -393,24 +462,43 @@ impl Simulation {
             .collect();
         for (pid, name, service) in pod_list {
             let sc_rng = rng.split_idx("sidecar", pid.0 as u64);
-            sidecars.insert(pid, Sidecar::new(name, service.clone(), mesh.clone(), sc_rng));
+            sidecars.insert(
+                pid,
+                Sidecar::new(name, service.clone(), mesh.clone(), sc_rng),
+            );
             control.issue_cert(pid, &service, SimTime::ZERO);
         }
 
         // Fabric + cross-layer network programming.
         let mut fabric = Fabric::build(&cluster, &spec.network);
         if spec.xlayer.host_tc {
-            xlayer::install_host_tc(&mut fabric, &cluster, spec.network.queue_pkts, SimTime::ZERO);
+            xlayer::install_host_tc(
+                &mut fabric,
+                &cluster,
+                spec.network.queue_pkts,
+                SimTime::ZERO,
+            );
         }
         if spec.xlayer.net_prio {
-            xlayer::install_net_prio(&mut fabric, &cluster, spec.network.queue_pkts, SimTime::ZERO);
+            xlayer::install_net_prio(
+                &mut fabric,
+                &cluster,
+                spec.network.queue_pkts,
+                SimTime::ZERO,
+            );
         }
 
         let gens: Vec<OpenLoopGen> = spec
             .workloads
             .iter()
             .enumerate()
-            .map(|(i, w)| OpenLoopGen::new(w.clone(), SimTime::ZERO, rng.split_idx("workload", i as u64)))
+            .map(|(i, w)| {
+                OpenLoopGen::new(
+                    w.clone(),
+                    SimTime::ZERO,
+                    rng.split_idx("workload", i as u64),
+                )
+            })
             .collect();
 
         let end_at = SimTime::ZERO + spec.config.duration;
@@ -418,7 +506,11 @@ impl Simulation {
         let window_end = end_at
             .saturating_since(SimTime::ZERO + spec.config.cooldown)
             .as_nanos();
-        let recorder = Recorder::new(window_start, SimTime::from_nanos(window_end.max(window_start.as_nanos() + 1)));
+        let recorder = Recorder::new(
+            window_start,
+            SimTime::from_nanos(window_end.max(window_start.as_nanos() + 1)),
+        );
+        let telemetry = TelemetryHub::new(spec.config.telemetry.clone());
 
         Simulation {
             spec,
@@ -439,6 +531,9 @@ impl Simulation {
             sdn: crate::sdn::SdnController::new(0.7),
             recorder,
             tracer: Tracer::new(100_000),
+            telemetry,
+            scrape: ScrapeState::default(),
+            ev_profile: BTreeMap::new(),
             rng: rng.split("world"),
             stats: WorldStats::default(),
             end_at,
@@ -479,6 +574,11 @@ impl Simulation {
     /// The trace collector.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The time-series telemetry hub (scrape series + SLO monitor).
+    pub fn telemetry(&self) -> &TelemetryHub {
+        &self.telemetry
     }
 
     /// The SDN controller (§3.5 coordination).
@@ -550,8 +650,10 @@ impl Simulation {
                 };
                 let cfg_a = mk_cfg(a, b, &self.cluster);
                 let cfg_b = mk_cfg(b, a, &self.cluster);
-                let conn_a = Conn::new(id, 0, self.fabric.node_of(a), self.fabric.node_of(b), cfg_a);
-                let conn_b = Conn::new(id, 1, self.fabric.node_of(b), self.fabric.node_of(a), cfg_b);
+                let conn_a =
+                    Conn::new(id, 0, self.fabric.node_of(a), self.fabric.node_of(b), cfg_a);
+                let conn_b =
+                    Conn::new(id, 1, self.fabric.node_of(b), self.fabric.node_of(a), cfg_b);
                 self.conns.insert(
                     id,
                     ConnPair {

@@ -1,7 +1,7 @@
 //! RPC lifecycle: routing, attempts (retries + hedges), timeouts,
 //! completion.
 
-use super::{AttemptState, CompletionKey, Ev, MsgInFlight, Rpc, Simulation};
+use super::{AttemptState, ClientSpanCtx, CompletionKey, Ev, MsgInFlight, Rpc, Simulation};
 use crate::provenance::request_priority;
 use meshlayer_http::{Request, StatusCode, HDR_REQUEST_ID};
 use meshlayer_mesh::{AttemptFailure, RouteOutcome};
@@ -64,15 +64,32 @@ impl Simulation {
         now: SimTime,
     ) {
         self.stats.rpcs += 1;
-        let decision = {
+        let (decision, client_span) = {
             let cluster = &self.cluster;
             let fabric = &self.fabric;
             let sdn = &self.sdn;
             let sdn_lb = self.spec.xlayer.sdn_lb;
             let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
             // §4.3 step 2: copy priority/trace onto the child request.
-            sc.annotate_outbound(&mut req);
-            sc.route_outbound(
+            let annotated = sc.annotate_outbound(&mut req);
+            // If the caller's inbound request is sampled, this RPC gets a
+            // client span (recorded at completion) linking the caller's
+            // server span to the callee's.
+            let sampled = req
+                .headers
+                .get(HDR_REQUEST_ID)
+                .and_then(|id| sc.inbound_ctx(id))
+                .is_some_and(|ctx| ctx.sampled);
+            let client_span =
+                annotated
+                    .filter(|_| sampled)
+                    .map(|(trace, parent, id)| ClientSpanCtx {
+                        trace,
+                        id,
+                        parent,
+                        started: now,
+                    });
+            let decision = sc.route_outbound(
                 &req,
                 &|c, s| {
                     let eps = cluster.endpoints(c, s);
@@ -83,7 +100,8 @@ impl Simulation {
                     }
                 },
                 now,
-            )
+            );
+            (decision, client_span)
         };
         let priority = request_priority(&req);
         let rpc_id = self.alloc_rpc();
@@ -100,6 +118,7 @@ impl Simulation {
                         attempts: Vec::new(),
                         pool_size: 0,
                         completed: false,
+                        span: client_span,
                     },
                 );
                 self.complete_rpc(rpc_id, status, now);
@@ -128,12 +147,19 @@ impl Simulation {
                         }],
                         pool_size,
                         completed: false,
+                        span: client_span,
                     },
                 );
-                self.queue.push(now + timeout, Ev::RpcTimeout { rpc: rpc_id });
+                self.queue
+                    .push(now + timeout, Ev::RpcTimeout { rpc: rpc_id });
                 if let Some(delay) = hedge_after {
-                    self.queue
-                        .push(now + delay, Ev::HedgeFire { rpc: rpc_id, attempt: 0 });
+                    self.queue.push(
+                        now + delay,
+                        Ev::HedgeFire {
+                            rpc: rpc_id,
+                            attempt: 0,
+                        },
+                    );
                 }
                 self.launch_attempt(rpc_id, 0, now);
             }
@@ -399,6 +425,7 @@ impl Simulation {
         rpc.completed = true;
         let completion = rpc.completion.clone();
         let caller = rpc.caller;
+        let cluster_name = rpc.cluster.clone();
         // Settle any still-live attempts (e.g. the losing hedge) so the
         // sidecar's outstanding/breaker accounting stays balanced; their
         // late responses are dropped by `settle_attempt`'s done check.
@@ -418,8 +445,21 @@ impl Simulation {
                 sc.on_attempt_cancelled(&cluster, pod, now);
             }
         }
-        // Drop the rpc record; everything needed is local now.
-        self.rpcs.remove(&rpc_id);
+        // Drop the rpc record; everything needed is local now. If the RPC
+        // belongs to a sampled trace, emit its client span — the link the
+        // callee's server span parents onto.
+        let finished = self.rpcs.remove(&rpc_id);
+        if let Some(cs) = finished.and_then(|r| r.span) {
+            let sc = self.sidecars.get(&caller).expect("caller sidecar");
+            let span = sc.client_span(
+                (cs.trace, cs.parent, cs.id),
+                &cluster_name,
+                cs.started,
+                now,
+                status,
+            );
+            self.tracer.record(span);
+        }
         match completion {
             CompletionKey::Root {
                 class,
@@ -429,9 +469,15 @@ impl Simulation {
                 if status.is_success() {
                     self.stats.roots_ok += 1;
                     self.recorder.record_ok(&class, intended_at, now);
+                    self.telemetry.observe_latency(
+                        &class,
+                        now,
+                        Some(now.saturating_since(intended_at)),
+                    );
                 } else {
                     self.stats.roots_failed += 1;
                     self.recorder.record_failure(&class, intended_at);
+                    self.telemetry.observe_latency(&class, now, None);
                 }
                 let sc = self.sidecars.get_mut(&caller).expect("ingress sidecar");
                 // The gateway's own span is the trace root.

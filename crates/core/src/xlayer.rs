@@ -324,7 +324,11 @@ mod tests {
 
     fn cluster_with_priority_reviews() -> Cluster {
         let mut c = Cluster::new(&["host"], 64);
-        c.deploy(ServiceSpec::new("frontend", 1, ServiceBehavior::respond(1.0)));
+        c.deploy(ServiceSpec::new(
+            "frontend",
+            1,
+            ServiceBehavior::respond(1.0),
+        ));
         c.deploy(
             ServiceSpec::new("reviews", 2, ServiceBehavior::respond(1.0))
                 .with_replica_labels(vec![
@@ -334,7 +338,11 @@ mod tests {
                 .with_subset(Subset::label("high", "prio", "high"))
                 .with_subset(Subset::label("low", "prio", "low")),
         );
-        c.deploy(ServiceSpec::new("ratings", 1, ServiceBehavior::respond(1.0)));
+        c.deploy(ServiceSpec::new(
+            "ratings",
+            1,
+            ServiceBehavior::respond(1.0),
+        ));
         c
     }
 
@@ -415,15 +423,7 @@ mod tests {
         let ratings = c.endpoints("ratings", None)[0];
         let up = fabric.uplink(ratings);
         let tc = fabric.topology.link(up).tc();
-        let mut pkt = meshlayer_netsim::Packet::data(
-            1,
-            NodeIdOf(0),
-            NodeIdOf(1),
-            1,
-            0,
-            100,
-            0,
-        );
+        let mut pkt = meshlayer_netsim::Packet::data(1, NodeIdOf(0), NodeIdOf(1), 1, 0, 100, 0);
         pkt.dst_ip = high_ip;
         assert_eq!(tc.classify(&pkt), ClassId(0));
         pkt.dst_ip = 999;
@@ -444,15 +444,8 @@ mod tests {
         let frontend = c.endpoints("frontend", None)[0];
         let down = fabric.downlink(frontend);
         let tc = fabric.topology.link(down).tc();
-        let mut pkt = meshlayer_netsim::Packet::data(
-            1,
-            NodeIdOf(0),
-            NodeIdOf(1),
-            1,
-            0,
-            100,
-            DSCP_LATENCY,
-        );
+        let mut pkt =
+            meshlayer_netsim::Packet::data(1, NodeIdOf(0), NodeIdOf(1), 1, 0, 100, DSCP_LATENCY);
         assert_eq!(tc.classify(&pkt), ClassId(0));
         pkt.dscp = DSCP_BATCH;
         assert_eq!(tc.classify(&pkt), ClassId(1));

@@ -61,11 +61,11 @@ fn deterministic_across_runs() {
         (
             m.world.roots_ok,
             m.events,
-            m.class("users").map(|c| (c.completed, c.p50_ms.to_bits(), c.p99_ms.to_bits())),
+            m.class("users")
+                .map(|c| (c.completed, c.p50_ms.to_bits(), c.p99_ms.to_bits())),
         )
     };
     assert_eq!(run(), run(), "same spec + seed must be bit-identical");
-
 }
 
 #[test]

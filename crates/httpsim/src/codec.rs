@@ -98,8 +98,8 @@ pub fn decode_request_head(head: &[u8]) -> Result<Request, CodecError> {
     if head.len() > MAX_HEADER_BYTES {
         return Err(CodecError::HeadersTooLarge);
     }
-    let text = std::str::from_utf8(head)
-        .map_err(|_| CodecError::BadStartLine("non-utf8".into()))?;
+    let text =
+        std::str::from_utf8(head).map_err(|_| CodecError::BadStartLine("non-utf8".into()))?;
     let mut lines = text.split("\r\n");
     let start = lines.next().unwrap_or("");
     let mut parts = start.split(' ');
@@ -136,8 +136,8 @@ pub fn decode_response_head(head: &[u8]) -> Result<Response, CodecError> {
     if head.len() > MAX_HEADER_BYTES {
         return Err(CodecError::HeadersTooLarge);
     }
-    let text = std::str::from_utf8(head)
-        .map_err(|_| CodecError::BadStartLine("non-utf8".into()))?;
+    let text =
+        std::str::from_utf8(head).map_err(|_| CodecError::BadStartLine("non-utf8".into()))?;
     let mut lines = text.split("\r\n");
     let start = lines.next().unwrap_or("");
     let mut parts = start.splitn(3, ' ');

@@ -139,11 +139,7 @@ impl Request {
     }
 
     /// A POST with the given body size.
-    pub fn post(
-        authority: impl Into<String>,
-        path: impl Into<String>,
-        body_len: u64,
-    ) -> Request {
+    pub fn post(authority: impl Into<String>, path: impl Into<String>, body_len: u64) -> Request {
         Request {
             method: Method::Post,
             path: path.into(),
@@ -228,7 +224,13 @@ mod tests {
 
     #[test]
     fn method_round_trip() {
-        for m in [Method::Get, Method::Post, Method::Put, Method::Delete, Method::Head] {
+        for m in [
+            Method::Get,
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+            Method::Head,
+        ] {
             assert_eq!(Method::parse(m.as_str()), Some(m));
         }
         assert_eq!(Method::parse("get"), None, "methods are case-sensitive");

@@ -282,7 +282,10 @@ mod tests {
         let mut override_rule = RouteRule::passthrough("svc");
         override_rule.targets = vec![RouteTarget::cluster("canary")];
         table.push_front(override_rule);
-        assert_eq!(table.resolve(&req("svc", "/")).unwrap().targets[0].cluster, "canary");
+        assert_eq!(
+            table.resolve(&req("svc", "/")).unwrap().targets[0].cluster,
+            "canary"
+        );
         assert_eq!(table.len(), 2);
     }
 

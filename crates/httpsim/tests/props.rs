@@ -10,9 +10,7 @@ use meshlayer_http::{Method, Request, Response, StatusCode};
 use proptest::prelude::*;
 
 fn header_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9-]{0,20}".prop_filter("reserved names", |n| {
-        n != "host" && n != "content-length"
-    })
+    "[a-z][a-z0-9-]{0,20}".prop_filter("reserved names", |n| n != "host" && n != "content-length")
 }
 
 fn header_value() -> impl Strategy<Value = String> {

@@ -82,7 +82,12 @@ impl LoadBalancer {
     }
 
     /// Choose an endpoint among `candidates`. Returns `None` iff empty.
-    pub fn pick(&mut self, candidates: &[PodId], ctx: &PickCtx<'_>, rng: &mut SimRng) -> Option<PodId> {
+    pub fn pick(
+        &mut self,
+        candidates: &[PodId],
+        ctx: &PickCtx<'_>,
+        rng: &mut SimRng,
+    ) -> Option<PodId> {
         if candidates.is_empty() {
             return None;
         }
@@ -124,11 +129,7 @@ impl LoadBalancer {
     /// no estimate yet get a tiny optimistic latency so they receive
     /// traffic and acquire one.
     fn score(&self, pod: PodId, ctx: &PickCtx<'_>) -> f64 {
-        let lat = self
-            .ewma
-            .get(&pod)
-            .and_then(|e| e.get())
-            .unwrap_or(1e-6);
+        let lat = self.ewma.get(&pod).and_then(|e| e.get()).unwrap_or(1e-6);
         lat * ((ctx.outstanding)(pod) as f64 + 1.0)
     }
 
@@ -191,7 +192,9 @@ mod tests {
             hash: None,
         };
         let mut rng = SimRng::new(1);
-        let picks: Vec<u32> = (0..6).map(|_| lb.pick(&cands, &ctx, &mut rng).unwrap().0).collect();
+        let picks: Vec<u32> = (0..6)
+            .map(|_| lb.pick(&cands, &ctx, &mut rng).unwrap().0)
+            .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -265,7 +268,10 @@ mod tests {
             outstanding: &load,
             hash: None,
         };
-        assert_eq!(lb.pick(&cands, &ctx, &mut SimRng::new(5)).unwrap(), PodId(1));
+        assert_eq!(
+            lb.pick(&cands, &ctx, &mut SimRng::new(5)).unwrap(),
+            PodId(1)
+        );
     }
 
     #[test]
@@ -279,7 +285,10 @@ mod tests {
             outstanding: &f,
             hash: None,
         };
-        assert_eq!(lb.pick(&cands, &ctx, &mut SimRng::new(6)).unwrap(), PodId(1));
+        assert_eq!(
+            lb.pick(&cands, &ctx, &mut SimRng::new(6)).unwrap(),
+            PodId(1)
+        );
     }
 
     #[test]

@@ -346,8 +346,7 @@ impl OutlierDetector {
                     .values()
                     .filter(|&&until| until > now)
                     .count();
-                let allowed =
-                    ((pool_size as f64) * self.cfg.max_ejection_ratio).floor() as usize;
+                let allowed = ((pool_size as f64) * self.cfg.max_ejection_ratio).floor() as usize;
                 if currently_ejected < allowed.max(1).min(pool_size.saturating_sub(1)) {
                     let n = self.ejection_count.entry(pod).or_insert(0);
                     *n += 1;
@@ -398,7 +397,11 @@ mod tests {
         // Attempt count exhausted.
         assert!(!p.should_retry(2, Method::Get, AttemptFailure::Timeout));
         // 4xx is not retryable.
-        assert!(!p.should_retry(0, Method::Get, AttemptFailure::Status(StatusCode::NOT_FOUND)));
+        assert!(!p.should_retry(
+            0,
+            Method::Get,
+            AttemptFailure::Status(StatusCode::NOT_FOUND)
+        ));
         // POST not retried by default.
         assert!(!p.should_retry(0, Method::Post, AttemptFailure::Timeout));
         let p2 = RetryPolicy {

@@ -20,9 +20,7 @@
 
 use crate::config::MeshConfig;
 use crate::lb::{LoadBalancer, PickCtx};
-use crate::resilience::{
-    AttemptFailure, CircuitBreaker, OutlierDetector, RetryBudget,
-};
+use crate::resilience::{AttemptFailure, CircuitBreaker, OutlierDetector, RetryBudget};
 use crate::tracing::{Span, SpanId, SpanKind, TraceId};
 use meshlayer_cluster::PodId;
 use meshlayer_http::{
@@ -123,7 +121,12 @@ pub struct Sidecar {
 impl Sidecar {
     /// Create the sidecar for pod `name` of `service`, seeded
     /// deterministically from `rng`.
-    pub fn new(name: impl Into<String>, service: impl Into<String>, cfg: MeshConfig, rng: SimRng) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        service: impl Into<String>,
+        cfg: MeshConfig,
+        rng: SimRng,
+    ) -> Self {
         let name = name.into();
         let mut rng = rng;
         // Span ids must be unique across the whole fleet; give each sidecar
@@ -146,6 +149,11 @@ impl Sidecar {
     /// This sidecar's pod name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The service this sidecar fronts.
+    pub fn service(&self) -> &str {
+        &self.service
     }
 
     /// Counters.
@@ -203,7 +211,11 @@ impl Sidecar {
             }
         };
         // Trace context: reuse or create.
-        let trace = match req.headers.get(HDR_B3_TRACE_ID).and_then(|t| t.parse().ok()) {
+        let trace = match req
+            .headers
+            .get(HDR_B3_TRACE_ID)
+            .and_then(|t| t.parse().ok())
+        {
             Some(t) => TraceId(t),
             None => {
                 let t = TraceId((self.rng.u64() << 8) | self.next_trace);
@@ -303,13 +315,16 @@ impl Sidecar {
             return RouteOutcome::FailFast(StatusCode::UNAVAILABLE);
         }
         let policy = self.cfg.policy(&cluster).clone();
-        let up = self.upstreams.entry(cluster.clone()).or_insert_with(|| Upstream {
-            lb: LoadBalancer::new(policy.lb),
-            breaker: CircuitBreaker::new(policy.breaker.clone()),
-            outlier: OutlierDetector::new(policy.outlier.clone()),
-            budget: RetryBudget::new(policy.retry.budget_ratio),
-            outstanding: HashMap::new(),
-        });
+        let up = self
+            .upstreams
+            .entry(cluster.clone())
+            .or_insert_with(|| Upstream {
+                lb: LoadBalancer::new(policy.lb),
+                breaker: CircuitBreaker::new(policy.breaker.clone()),
+                outlier: OutlierDetector::new(policy.outlier.clone()),
+                budget: RetryBudget::new(policy.retry.budget_ratio),
+                outstanding: HashMap::new(),
+            });
         if !up.breaker.try_admit(now) {
             self.stats.fail_fast += 1;
             return RouteOutcome::FailFast(StatusCode::TOO_MANY_REQUESTS);
@@ -317,10 +332,7 @@ impl Sidecar {
         let healthy = up.outlier.healthy(&candidates, now);
         let outstanding_map = &up.outstanding;
         let outstanding = |p: PodId| outstanding_map.get(&p).copied().unwrap_or(0);
-        let hash = req
-            .headers
-            .get("x-session-key")
-            .map(|v| fnv(v.as_bytes()));
+        let hash = req.headers.get("x-session-key").map(|v| fnv(v.as_bytes()));
         let ctx = PickCtx {
             outstanding: &outstanding,
             hash,
@@ -460,6 +472,35 @@ impl Sidecar {
                     "priority".into(),
                     ctx.priority.clone().unwrap_or_else(|| "-".into()),
                 ),
+            ],
+        }
+    }
+
+    /// Build the client span for an outbound RPC this sidecar issued.
+    /// `link` is exactly what [`Sidecar::annotate_outbound`] returned for
+    /// the request: `(trace, parent server span, this client span)`. The
+    /// callee's server span parents onto the client span id, completing
+    /// the trace tree.
+    pub fn client_span(
+        &self,
+        link: (TraceId, SpanId, SpanId),
+        cluster: &str,
+        start: SimTime,
+        end: SimTime,
+        status: StatusCode,
+    ) -> Span {
+        let (trace, parent, id) = link;
+        Span {
+            trace,
+            id,
+            parent: Some(parent),
+            service: self.service.clone(),
+            kind: SpanKind::Client,
+            start,
+            end,
+            tags: vec![
+                ("status".into(), status.0.to_string()),
+                ("upstream".into(), cluster.to_string()),
             ],
         }
     }
@@ -657,7 +698,14 @@ mod tests {
             } else {
                 StatusCode::OK
             };
-            sc.on_upstream_response(&cluster, pod, Ok(status), SimDuration::from_millis(1), 2, T0);
+            sc.on_upstream_response(
+                &cluster,
+                pod,
+                Ok(status),
+                SimDuration::from_millis(1),
+                2,
+                T0,
+            );
         }
         // Pod 0 now ejected: the next 20 picks all go to pod 1.
         for _ in 0..20 {
@@ -694,7 +742,13 @@ mod tests {
             2,
             T0,
         );
-        let b1 = sc.should_retry(&cluster, &req, 0, AttemptFailure::Status(StatusCode::INTERNAL), T0);
+        let b1 = sc.should_retry(
+            &cluster,
+            &req,
+            0,
+            AttemptFailure::Status(StatusCode::INTERNAL),
+            T0,
+        );
         assert!(b1.is_some());
         // attempt 2 (0-based) exceeds max_retries=2.
         assert!(sc
@@ -744,7 +798,13 @@ mod tests {
         let mut sc = mk_sidecar(simple_routes());
         let mut req = Request::get("frontend", "/").with_header(HDR_PRIORITY, "high");
         let ctx = sc.on_inbound(&mut req, T0);
-        let span = sc.server_span(&ctx, None, T0, T0 + SimDuration::from_millis(3), StatusCode::OK);
+        let span = sc.server_span(
+            &ctx,
+            None,
+            T0,
+            T0 + SimDuration::from_millis(3),
+            StatusCode::OK,
+        );
         assert_eq!(span.tag("priority"), Some("high"));
         assert_eq!(span.tag("status"), Some("200"));
         assert_eq!(span.duration(), SimDuration::from_millis(3));

@@ -31,7 +31,7 @@ pub enum SpanKind {
 }
 
 /// One span: a request's execution within one microservice hop.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Span {
     /// Owning trace.
     pub trace: TraceId,
@@ -210,18 +210,26 @@ impl TraceTree {
     }
 
     /// The critical path: from the root, repeatedly descend into the child
-    /// whose end time is latest. Returns the service names along the path.
+    /// whose end time is latest. Returns the service names along the path,
+    /// with consecutive duplicates collapsed (a client span and the server
+    /// span it called into count as one hop for the caller's service).
+    ///
+    /// Ties on end time break deterministically on `(end, start, SpanId)`
+    /// so the same tree always yields the same path regardless of span
+    /// insertion order.
     pub fn critical_path(&self) -> Vec<&str> {
-        let mut path = Vec::new();
+        let mut path: Vec<&str> = Vec::new();
         let Some(mut cur) = self.root() else {
             return path;
         };
         path.push(cur.service.as_str());
         for _ in 0..64 {
             let kids = self.children(cur.id);
-            match kids.into_iter().max_by_key(|c| c.end) {
+            match kids.into_iter().max_by_key(|c| (c.end, c.start, c.id)) {
                 Some(next) => {
-                    path.push(next.service.as_str());
+                    if path.last() != Some(&next.service.as_str()) {
+                        path.push(next.service.as_str());
+                    }
                     cur = next;
                 }
                 None => break,
@@ -310,6 +318,35 @@ mod tests {
     }
 
     #[test]
+    fn critical_path_tie_breaks_deterministically() {
+        // Two children end at the same instant: the later-starting one
+        // wins; among identical (end, start) the larger SpanId wins. The
+        // result must not depend on recording order.
+        for order in [[2u64, 3], [3, 2]] {
+            let mut t = Tracer::new(100);
+            t.record(span(1, 1, None, "root", 0, 100));
+            for id in order {
+                let svc = if id == 2 { "early" } else { "late" };
+                let start = if id == 2 { 10 } else { 20 };
+                t.record(span(1, id, Some(1), svc, start, 90));
+            }
+            let traces = t.traces();
+            assert_eq!(traces[0].critical_path(), vec!["root", "late"]);
+        }
+        // Fully identical intervals: highest SpanId wins, both orders.
+        for order in [[5u64, 6], [6, 5]] {
+            let mut t = Tracer::new(100);
+            t.record(span(1, 1, None, "root", 0, 100));
+            for id in order {
+                let svc = if id == 5 { "low-id" } else { "high-id" };
+                t.record(span(1, id, Some(1), svc, 10, 90));
+            }
+            let traces = t.traces();
+            assert_eq!(traces[0].critical_path(), vec!["root", "high-id"]);
+        }
+    }
+
+    #[test]
     fn children_sorted_by_start() {
         let mut t = Tracer::new(100);
         t.record(span(1, 1, None, "root", 0, 100));
@@ -362,6 +399,37 @@ mod tests {
         // Outside the burst.
         assert!(!s.sample(SimTime::from_secs(5), 0.0));
         assert!(!s.sample(SimTime::from_millis(1_001), 0.0));
+    }
+
+    #[test]
+    fn bursty_sampling_exact_period_edges() {
+        let s = Sampling::Bursty {
+            period: SimDuration::from_secs(10),
+            burst: SimDuration::from_secs(1),
+        };
+        // The instant a period starts is inside the burst (pos == 0)...
+        assert!(s.sample(SimTime::ZERO, 0.0));
+        assert!(s.sample(SimTime::from_secs(10), 0.0));
+        assert!(s.sample(SimTime::from_secs(20), 0.0));
+        // ...the instant the burst ends is outside (pos == burst, half-open).
+        assert!(!s.sample(SimTime::from_secs(1), 0.0));
+        assert!(!s.sample(SimTime::from_secs(11), 0.0));
+        // One nanosecond before each boundary flips the answer.
+        assert!(s.sample(SimTime::from_nanos(1_000_000_000 - 1), 0.0));
+        assert!(!s.sample(SimTime::from_nanos(10_000_000_000 - 1), 0.0));
+        // burst == period records everything; burst == 0 records nothing.
+        let all = Sampling::Bursty {
+            period: SimDuration::from_secs(10),
+            burst: SimDuration::from_secs(10),
+        };
+        assert!(all.sample(SimTime::from_secs(3), 0.0));
+        assert!(all.sample(SimTime::from_secs(10), 0.0));
+        let none = Sampling::Bursty {
+            period: SimDuration::from_secs(10),
+            burst: SimDuration::ZERO,
+        };
+        assert!(!none.sample(SimTime::ZERO, 0.0));
+        assert!(!none.sample(SimTime::from_secs(10), 0.0));
     }
 
     #[test]

@@ -21,7 +21,9 @@ impl fmt::Debug for NodeId {
 }
 
 /// Identifier of a qdisc class (a TC "classid" analogue).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Debug, Default)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Debug, Default,
+)]
 pub struct ClassId(pub u16);
 
 /// DSCP value used for latency-sensitive traffic (EF, expedited forwarding).

@@ -129,7 +129,9 @@ impl Prio {
     pub fn new(n_bands: usize, limit_per_band: usize) -> Self {
         assert!(n_bands > 0, "prio qdisc needs at least one band");
         Prio {
-            bands: (0..n_bands).map(|_| DropTail::new(limit_per_band)).collect(),
+            bands: (0..n_bands)
+                .map(|_| DropTail::new(limit_per_band))
+                .collect(),
             drops: 0,
         }
     }

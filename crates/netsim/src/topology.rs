@@ -107,7 +107,8 @@ impl Topology {
         assert!((to.0 as usize) < self.node_names.len(), "unknown to");
         assert_ne!(from, to, "self-loop link");
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link::new(id, from, to, rate_bps, delay, qdisc));
+        self.links
+            .push(Link::new(id, from, to, rate_bps, delay, qdisc));
         self.adjacency[from.0 as usize].push(id);
         self.routes_dirty = true;
         id
@@ -394,7 +395,13 @@ mod tests {
         let leaves: Vec<NodeId> = (0..2).map(|i| t.add_node(format!("leaf{i}"))).collect();
         let spines: Vec<NodeId> = (0..2).map(|i| t.add_node(format!("spine{i}"))).collect();
         for (i, &h) in hosts.iter().enumerate() {
-            t.add_duplex(h, leaves[i / 2], 10_000_000_000, SimDuration::from_micros(1), dt);
+            t.add_duplex(
+                h,
+                leaves[i / 2],
+                10_000_000_000,
+                SimDuration::from_micros(1),
+                dt,
+            );
         }
         for &l in &leaves {
             for &s in &spines {

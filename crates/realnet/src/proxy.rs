@@ -381,6 +381,9 @@ mod tests {
         wire::write_request(&mut c, &req).unwrap();
         let resp = wire::read_response(&mut c).unwrap();
         // The app echoes the id it saw; the proxy must have minted one.
-        assert!(resp.headers.get(HDR_REQUEST_ID).is_some_and(|v| !v.is_empty()));
+        assert!(resp
+            .headers
+            .get(HDR_REQUEST_ID)
+            .is_some_and(|v| !v.is_empty()));
     }
 }

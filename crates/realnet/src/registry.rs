@@ -88,7 +88,9 @@ mod tests {
         let r = Registry::new();
         r.register("reviews", addr(1001), None);
         r.register("reviews", addr(1002), None);
-        let picks: Vec<SocketAddr> = (0..4).map(|_| r.resolve("reviews", None).unwrap()).collect();
+        let picks: Vec<SocketAddr> = (0..4)
+            .map(|_| r.resolve("reviews", None).unwrap())
+            .collect();
         assert_eq!(picks, vec![addr(1001), addr(1002), addr(1001), addr(1002)]);
     }
 

@@ -169,8 +169,7 @@ mod tests {
 
     #[test]
     fn priority_echoed() {
-        let svc =
-            MiniService::spawn(ServiceConfig::leaf("svc", Duration::ZERO, 10)).unwrap();
+        let svc = MiniService::spawn(ServiceConfig::leaf("svc", Duration::ZERO, 10)).unwrap();
         let mut c = TcpStream::connect(svc.addr()).unwrap();
         let req = Request::get("svc", "/").with_header(HDR_PRIORITY, "high");
         wire::write_request(&mut c, &req).unwrap();
@@ -181,8 +180,7 @@ mod tests {
     #[test]
     fn concurrent_requests_served() {
         let svc = Arc::new(
-            MiniService::spawn(ServiceConfig::leaf("svc", Duration::from_millis(5), 128))
-                .unwrap(),
+            MiniService::spawn(ServiceConfig::leaf("svc", Duration::from_millis(5), 128)).unwrap(),
         );
         let addr = svc.addr();
         let handles: Vec<_> = (0..8)

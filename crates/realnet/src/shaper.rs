@@ -49,7 +49,8 @@ impl Shaper {
     fn refill(&self, st: &mut State) {
         let now = Instant::now();
         let dt = now.duration_since(st.last_refill).as_secs_f64();
-        st.tokens = (st.tokens + dt * self.rate_bps as f64 / 8.0).min(self.burst_bytes.max(st.tokens));
+        st.tokens =
+            (st.tokens + dt * self.rate_bps as f64 / 8.0).min(self.burst_bytes.max(st.tokens));
         // Cap accumulation at one burst above zero to keep latency bounded.
         st.tokens = st.tokens.min(self.burst_bytes);
         st.last_refill = now;
@@ -108,7 +109,7 @@ mod tests {
     #[test]
     fn high_priority_wins_under_contention() {
         let shaper = Arc::new(Shaper::new(4_000_000)); // 500 KB/s
-        // Saturate with a low-priority writer first.
+                                                       // Saturate with a low-priority writer first.
         let lo = {
             let s = shaper.clone();
             thread::spawn(move || {

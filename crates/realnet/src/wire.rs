@@ -66,11 +66,7 @@ fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), WireError> {
 }
 
 /// Discard exactly `remaining` body bytes (we transfer sizes, not content).
-fn drain_body(
-    stream: &mut TcpStream,
-    mut leftover: usize,
-    body_len: u64,
-) -> Result<(), WireError> {
+fn drain_body(stream: &mut TcpStream, mut leftover: usize, body_len: u64) -> Result<(), WireError> {
     let mut remaining = (body_len as usize).saturating_sub(leftover);
     leftover = 0;
     let _ = leftover;
@@ -163,7 +159,8 @@ mod tests {
             assert_eq!(req.path, "/reviews/1");
             assert_eq!(req.body_len, 3000);
             assert_eq!(req.headers.get("x-mesh-priority"), Some("high"));
-            let resp = Response::ok(5000).with_header("x-req", req.headers.get("x-request-id").unwrap_or(""));
+            let resp = Response::ok(5000)
+                .with_header("x-req", req.headers.get("x-request-id").unwrap_or(""));
             write_response(&mut s, &resp).unwrap();
         });
         let mut c = TcpStream::connect(addr).unwrap();

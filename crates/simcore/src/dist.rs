@@ -160,7 +160,9 @@ impl Dist {
                     // CDF(k) ~ (k^(1-s) - 1) / (n^(1-s) - 1).
                     let p = 1.0 - s;
                     let hn = ((n as f64).powf(p) - 1.0) / p;
-                    ((u * hn * p + 1.0).powf(1.0 / p)).clamp(1.0, n as f64).floor()
+                    ((u * hn * p + 1.0).powf(1.0 / p))
+                        .clamp(1.0, n as f64)
+                        .floor()
                 }
             }
         };
@@ -207,7 +209,9 @@ impl Dist {
             Dist::Zipf { n, s } => {
                 // Exact by summation (n is small in practice).
                 let norm: f64 = (1..=*n).map(|k| (k as f64).powf(-s)).sum();
-                (1..=*n).map(|k| k as f64 * (k as f64).powf(-s) / norm).sum()
+                (1..=*n)
+                    .map(|k| k as f64 * (k as f64).powf(-s) / norm)
+                    .sum()
             }
         }
     }

@@ -5,25 +5,37 @@
 //! adding a new random consumer does not perturb the draws seen by existing
 //! ones — a property the regression tests rely on.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A seeded simulation RNG.
 ///
-/// Wraps [`SmallRng`] (xoshiro256++ on 64-bit platforms): fast,
+/// An in-tree xoshiro256++ (the algorithm behind rand's `SmallRng` on
+/// 64-bit platforms), state-expanded from the seed with splitmix64: fast,
 /// deterministic for a given seed, and explicitly not cryptographic —
 /// exactly right for simulation.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create from a root seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             seed,
         }
     }
@@ -59,24 +71,48 @@ impl SimRng {
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `u64` over the full range.
     pub fn u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        // xoshiro256++
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        let s2 = s2 ^ t;
+        let s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        (self.u64() >> 32) as u32
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        // Rejection sampling over the widest multiple of n, so every
+        // value in [0, n) is exactly equally likely.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.u64();
+            if v < zone {
+                return v % n;
+            }
+        }
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(hi > lo, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to `[0,1]`).
@@ -105,21 +141,6 @@ impl SimRng {
             let j = self.below(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -169,6 +190,18 @@ mod tests {
             assert!(r.below(10) < 10);
             let v = r.range(5, 8);
             assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::new(17);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {c}");
         }
     }
 

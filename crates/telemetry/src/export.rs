@@ -1,0 +1,514 @@
+//! Exporters: Prometheus text exposition, CSV, and Zipkin-style JSON.
+//!
+//! Each format ships with a matching parser so round-trips can be
+//! asserted in tests and downstream tooling can re-ingest the artifacts
+//! written under `results/`.
+
+use crate::scrape::TelemetrySummary;
+use meshlayer_mesh::Span;
+use serde::Node;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// One parsed Prometheus sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    /// Metric family name.
+    pub name: String,
+    /// Label pairs, in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// First value of a label.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render the final state of a telemetry summary in Prometheus text
+/// exposition format: the last sample of every gauge series, the
+/// last-interval latency quantiles per class, and alert/scrape counters.
+pub fn prometheus_text(summary: &TelemetrySummary) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP meshlayer_scrapes_total Telemetry scrapes performed during the run.\n");
+    out.push_str("# TYPE meshlayer_scrapes_total counter\n");
+    let _ = writeln!(out, "meshlayer_scrapes_total {}", summary.scrapes);
+    out.push_str("# HELP meshlayer_slo_alerts_total SLO burn-rate alerts fired during the run.\n");
+    out.push_str("# TYPE meshlayer_slo_alerts_total counter\n");
+    let _ = writeln!(out, "meshlayer_slo_alerts_total {}", summary.alerts.len());
+
+    let mut last_family = "";
+    for g in &summary.gauges {
+        let Some(last) = g.last() else { continue };
+        if g.name != last_family {
+            let _ = writeln!(out, "# TYPE meshlayer_{} gauge", g.name);
+            last_family = &g.name;
+        }
+        let _ = writeln!(
+            out,
+            "meshlayer_{}{{instance=\"{}\"}} {}",
+            g.name,
+            escape_label(&g.instance),
+            fmt_value(last)
+        );
+    }
+
+    if summary.classes.iter().any(|c| !c.points.is_empty()) {
+        out.push_str("# TYPE meshlayer_class_latency_ms gauge\n");
+        for c in &summary.classes {
+            let Some(p) = c.points.iter().rev().find(|p| p.count > 0) else {
+                continue;
+            };
+            for (q, v) in [("0.5", p.p50_ms), ("0.9", p.p90_ms), ("0.99", p.p99_ms)] {
+                let _ = writeln!(
+                    out,
+                    "meshlayer_class_latency_ms{{class=\"{}\",quantile=\"{}\"}} {}",
+                    escape_label(&c.class),
+                    q,
+                    fmt_value(v)
+                );
+            }
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Parse Prometheus text exposition (the subset [`prometheus_text`]
+/// emits: `name{labels} value` lines plus `#` comments).
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: &str| format!("line {}: {m}: {line:?}", lineno + 1);
+        let (head, value) = line
+            .rsplit_once(|c: char| c.is_whitespace())
+            .ok_or_else(|| err("missing value"))?;
+        let value: f64 = value.parse().map_err(|_| err("bad value"))?;
+        let (name, labels) = match head.find('{') {
+            None => (head.trim().to_string(), Vec::new()),
+            Some(open) => {
+                let name = head[..open].trim().to_string();
+                let rest = head[open + 1..]
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated labels"))?;
+                let mut labels = Vec::new();
+                for pair in split_label_pairs(rest) {
+                    let (k, v) = pair.split_once('=').ok_or_else(|| err("bad label pair"))?;
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| err("unquoted label value"))?;
+                    labels.push((
+                        k.trim().to_string(),
+                        v.replace("\\n", "\n")
+                            .replace("\\\"", "\"")
+                            .replace("\\\\", "\\"),
+                    ));
+                }
+                (name, labels)
+            }
+        };
+        if name.is_empty() {
+            return Err(err("empty metric name"));
+        }
+        out.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// Split `k1="v1",k2="v2"` on commas outside quotes.
+fn split_label_pairs(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            cur.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => {
+                cur.push(c);
+                escaped = true;
+            }
+            '"' => {
+                cur.push(c);
+                in_quotes = !in_quotes;
+            }
+            ',' if !in_quotes => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+/// Per-class interval series as CSV:
+/// `class,t_s,count,errors,mean_ms,p50_ms,p90_ms,p99_ms,max_ms`.
+pub fn latency_csv(summary: &TelemetrySummary) -> String {
+    let mut out = String::from("class,t_s,count,errors,mean_ms,p50_ms,p90_ms,p99_ms,max_ms\n");
+    for c in &summary.classes {
+        for p in &c.points {
+            let _ = writeln!(
+                out,
+                "{},{:.3},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                c.class,
+                p.t_s,
+                p.count,
+                p.errors,
+                p.mean_ms,
+                p.p50_ms,
+                p.p90_ms,
+                p.p99_ms,
+                p.max_ms
+            );
+        }
+    }
+    out
+}
+
+/// Gauge series as CSV: `metric,instance,t_s,value`.
+pub fn gauges_csv(summary: &TelemetrySummary) -> String {
+    let mut out = String::from("metric,instance,t_s,value\n");
+    for g in &summary.gauges {
+        for p in &g.points {
+            let _ = writeln!(out, "{},{},{:.3},{:.6}", g.name, g.instance, p.t_s, p.value);
+        }
+    }
+    out
+}
+
+/// The full summary as pretty JSON.
+pub fn summary_json(summary: &TelemetrySummary) -> String {
+    serde_json::to_string_pretty(summary).expect("summary serializes")
+}
+
+// ---------------------------------------------------------------------------
+// Zipkin-style span JSON
+// ---------------------------------------------------------------------------
+
+/// A span as parsed back from Zipkin JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZipkinSpan {
+    /// Trace id (16 hex digits).
+    pub trace_id: String,
+    /// Span id (16 hex digits).
+    pub id: String,
+    /// Parent span id, if any.
+    pub parent_id: Option<String>,
+    /// Span name (the service's operation; here the service name).
+    pub name: String,
+    /// `CLIENT` or `SERVER`.
+    pub kind: String,
+    /// Start, microseconds since epoch (simulation start).
+    pub timestamp_us: u64,
+    /// Duration in microseconds.
+    pub duration_us: u64,
+    /// `localEndpoint.serviceName`.
+    pub service_name: String,
+    /// Tag map.
+    pub tags: Vec<(String, String)>,
+}
+
+fn hex16(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Render spans as a Zipkin v2 JSON array (camelCase fields, hex ids,
+/// microsecond timestamps).
+pub fn zipkin_json(spans: &[Span]) -> String {
+    let arr: Vec<Node> = spans
+        .iter()
+        .map(|s| {
+            let mut fields: Vec<(String, Node)> = vec![
+                ("traceId".into(), Node::Str(hex16(s.trace.0))),
+                ("id".into(), Node::Str(hex16(s.id.0))),
+            ];
+            if let Some(p) = s.parent {
+                fields.push(("parentId".into(), Node::Str(hex16(p.0))));
+            }
+            fields.push(("name".into(), Node::Str(s.service.clone())));
+            fields.push((
+                "kind".into(),
+                Node::Str(
+                    match s.kind {
+                        meshlayer_mesh::SpanKind::Client => "CLIENT",
+                        meshlayer_mesh::SpanKind::Server => "SERVER",
+                    }
+                    .into(),
+                ),
+            ));
+            fields.push(("timestamp".into(), Node::UInt(s.start.as_micros() as u128)));
+            fields.push((
+                "duration".into(),
+                Node::UInt(s.duration().as_micros() as u128),
+            ));
+            fields.push((
+                "localEndpoint".into(),
+                Node::Map(vec![("serviceName".into(), Node::Str(s.service.clone()))]),
+            ));
+            fields.push((
+                "tags".into(),
+                Node::Map(
+                    s.tags
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Node::Str(v.clone())))
+                        .collect(),
+                ),
+            ));
+            Node::Map(fields)
+        })
+        .collect();
+    serde_json::to_string_pretty(&Node::Seq(arr)).expect("spans serialize")
+}
+
+fn node_str(n: &Node, key: &str) -> Result<String, String> {
+    match n {
+        Node::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| match v {
+                Node::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| format!("missing string field `{key}`")),
+        _ => Err("expected object".into()),
+    }
+}
+
+fn node_u64(n: &Node, key: &str) -> Result<u64, String> {
+    match n {
+        Node::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| match v {
+                Node::UInt(v) => u64::try_from(*v).ok(),
+                Node::Int(v) => u64::try_from(*v).ok(),
+                _ => None,
+            })
+            .ok_or_else(|| format!("missing integer field `{key}`")),
+        _ => Err("expected object".into()),
+    }
+}
+
+/// Parse a Zipkin v2 JSON array back into structured spans.
+pub fn parse_zipkin(json: &str) -> Result<Vec<ZipkinSpan>, String> {
+    let root: Node = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let Node::Seq(items) = root else {
+        return Err("expected a JSON array of spans".into());
+    };
+    items
+        .iter()
+        .map(|item| {
+            let parent_id = match item {
+                Node::Map(entries) => {
+                    entries
+                        .iter()
+                        .find(|(k, _)| k == "parentId")
+                        .map(|(_, v)| match v {
+                            Node::Str(s) => Ok(s.clone()),
+                            _ => Err("parentId must be a string".to_string()),
+                        })
+                }
+                _ => None,
+            }
+            .transpose()?;
+            let endpoint = match item {
+                Node::Map(entries) => entries
+                    .iter()
+                    .find(|(k, _)| k == "localEndpoint")
+                    .map(|(_, v)| v)
+                    .ok_or("missing localEndpoint")?,
+                _ => return Err("expected span object".into()),
+            };
+            let tags = match item {
+                Node::Map(entries) => entries
+                    .iter()
+                    .find(|(k, _)| k == "tags")
+                    .map(|(_, v)| match v {
+                        Node::Map(pairs) => pairs
+                            .iter()
+                            .map(|(k, v)| match v {
+                                Node::Str(s) => Ok((k.clone(), s.clone())),
+                                _ => Err("tag values must be strings".to_string()),
+                            })
+                            .collect::<Result<Vec<_>, _>>(),
+                        _ => Err("tags must be an object".to_string()),
+                    })
+                    .transpose()?
+                    .unwrap_or_default(),
+                _ => Vec::new(),
+            };
+            Ok(ZipkinSpan {
+                trace_id: node_str(item, "traceId")?,
+                id: node_str(item, "id")?,
+                parent_id,
+                name: node_str(item, "name")?,
+                kind: node_str(item, "kind")?,
+                timestamp_us: node_u64(item, "timestamp")?,
+                duration_us: node_u64(item, "duration")?,
+                service_name: node_str(endpoint, "serviceName")?,
+                tags,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrape::{GaugeKind, TelemetryConfig, TelemetryHub};
+    use meshlayer_mesh::{SpanId, SpanKind, TraceId};
+    use meshlayer_simcore::{SimDuration, SimTime};
+
+    fn demo_summary() -> TelemetrySummary {
+        let mut hub = TelemetryHub::new(TelemetryConfig::default());
+        for i in 0..30u64 {
+            let now = SimTime::from_millis(i * 20);
+            hub.observe_latency("ls", now, Some(SimDuration::from_millis(3)));
+            if i % 5 == 0 {
+                hub.scrape_gauge(GaugeKind::LinkUtilization, "a->b", now, 0.42);
+                hub.scrape_gauge(GaugeKind::LinkDrops, "a->b", now, i as f64);
+                hub.on_scrape(now);
+            }
+        }
+        hub.finish(SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn prometheus_round_trip() {
+        let text = prometheus_text(&demo_summary());
+        let samples = parse_prometheus(&text).expect("parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "meshlayer_scrapes_total" && s.value == 6.0));
+        let util = samples
+            .iter()
+            .find(|s| s.name == "meshlayer_link_utilization")
+            .expect("utilization gauge");
+        assert_eq!(util.label("instance"), Some("a->b"));
+        assert!((util.value - 0.42).abs() < 1e-12);
+        let p99 = samples
+            .iter()
+            .find(|s| s.name == "meshlayer_class_latency_ms" && s.label("quantile") == Some("0.99"))
+            .expect("p99 sample");
+        assert_eq!(p99.label("class"), Some("ls"));
+        assert!(p99.value > 0.0);
+    }
+
+    #[test]
+    fn prometheus_escaping_survives() {
+        let text = "m{instance=\"a\\\"b,c\"} 1\n";
+        let samples = parse_prometheus(text).unwrap();
+        assert_eq!(samples[0].label("instance"), Some("a\"b,c"));
+    }
+
+    #[test]
+    fn csv_has_rows() {
+        let s = demo_summary();
+        let lat = latency_csv(&s);
+        assert!(lat.lines().count() > 3, "{lat}");
+        assert!(lat.starts_with("class,t_s,"));
+        let g = gauges_csv(&s);
+        assert!(g.lines().any(|l| l.starts_with("link_utilization,a->b,")));
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let s = demo_summary();
+        let json = summary_json(&s);
+        let back: TelemetrySummary = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.scrapes, s.scrapes);
+        assert_eq!(back.classes.len(), s.classes.len());
+        assert_eq!(back.gauges.len(), s.gauges.len());
+    }
+
+    #[test]
+    fn zipkin_round_trip() {
+        let spans = vec![
+            Span {
+                trace: TraceId(0xabcd),
+                id: SpanId(1),
+                parent: None,
+                service: "frontend".into(),
+                kind: SpanKind::Server,
+                start: SimTime::from_millis(5),
+                end: SimTime::from_millis(25),
+                tags: vec![("priority".into(), "high".into())],
+            },
+            Span {
+                trace: TraceId(0xabcd),
+                id: SpanId(2),
+                parent: Some(SpanId(1)),
+                service: "details".into(),
+                kind: SpanKind::Client,
+                start: SimTime::from_millis(8),
+                end: SimTime::from_millis(15),
+                tags: Vec::new(),
+            },
+        ];
+        let json = zipkin_json(&spans);
+        let back = parse_zipkin(&json).expect("parses");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].trace_id, "000000000000abcd");
+        assert_eq!(back[0].kind, "SERVER");
+        assert_eq!(back[0].parent_id, None);
+        assert_eq!(back[0].timestamp_us, 5_000);
+        assert_eq!(back[0].duration_us, 20_000);
+        assert_eq!(back[0].service_name, "frontend");
+        assert_eq!(
+            back[0].tags,
+            vec![("priority".to_string(), "high".to_string())]
+        );
+        assert_eq!(back[1].parent_id.as_deref(), Some("0000000000000001"));
+        assert_eq!(back[1].kind, "CLIENT");
+    }
+
+    #[test]
+    fn zipkin_rejects_non_array() {
+        assert!(parse_zipkin("{}").is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! Time-series telemetry for the mesh simulator.
+//!
+//! The simulation engine drives a periodic scrape (`TelemetryTick`) that
+//! samples links, pods, sidecars, and per-class latency into
+//! interval-bucketed series backed by streaming histograms. On top of the
+//! raw series sit trace-derived analytics (critical paths, per-service
+//! self time), an SLO monitor with multi-window burn-rate alerts, and
+//! exporters (Prometheus text, CSV/JSON, Zipkin-style JSON).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod export;
+pub mod scrape;
+pub mod series;
+pub mod slo;
+
+pub use analytics::{CriticalPathStat, ServiceSelfTime, TraceAnalytics};
+pub use export::{PromSample, ZipkinSpan};
+pub use scrape::{ClassSeries, GaugeKind, TelemetryConfig, TelemetryHub, TelemetrySummary};
+pub use series::{GaugeSeries, IntervalStats, LatencySeries, SeriesPoint};
+pub use slo::{Alert, BurnRateRule, SloMonitor, SloTarget};

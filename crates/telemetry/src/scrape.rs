@@ -1,0 +1,254 @@
+//! The telemetry hub: collection point for the engine's scrape loop.
+//!
+//! The simulation engine drives a [`TelemetryHub`] from two directions:
+//! continuously, as requests complete (`observe_latency`), and at every
+//! `TelemetryTick` (`scrape_gauge` + `on_scrape`), when it samples links,
+//! pods, and sidecar counters. The hub owns the per-class latency series,
+//! the gauge series, and the SLO monitor, and renders everything into a
+//! serializable [`TelemetrySummary`] at end of run.
+
+use crate::series::{GaugeSeries, IntervalStats, LatencySeries};
+use crate::slo::{Alert, BurnRateRule, SloMonitor, SloTarget};
+use meshlayer_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What a gauge sample measures. The name maps to the Prometheus metric
+/// family the sample is exported under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GaugeKind {
+    /// Link utilization in `[0,1]` (`link_utilization`).
+    LinkUtilization,
+    /// Packets queued on a link's qdisc (`link_queue_depth`).
+    LinkQueueDepth,
+    /// Packets dropped on a link since the last scrape (`link_drops`).
+    LinkDrops,
+    /// Requests waiting for a pod's compute (`pod_compute_queue`).
+    PodComputeQueue,
+    /// Sidecar requests seen since the last scrape (`sidecar_requests`).
+    SidecarRequests,
+    /// Sidecar retries since the last scrape (`sidecar_retries`).
+    SidecarRetries,
+    /// Sidecar fail-fast rejections since the last scrape (`sidecar_fail_fast`).
+    SidecarFailFast,
+    /// Sidecar 5xx responses since the last scrape (`sidecar_5xx`).
+    Sidecar5xx,
+}
+
+impl GaugeKind {
+    /// The Prometheus metric family name.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            GaugeKind::LinkUtilization => "link_utilization",
+            GaugeKind::LinkQueueDepth => "link_queue_depth",
+            GaugeKind::LinkDrops => "link_drops",
+            GaugeKind::PodComputeQueue => "pod_compute_queue",
+            GaugeKind::SidecarRequests => "sidecar_requests",
+            GaugeKind::SidecarRetries => "sidecar_retries",
+            GaugeKind::SidecarFailFast => "sidecar_fail_fast",
+            GaugeKind::Sidecar5xx => "sidecar_5xx",
+        }
+    }
+}
+
+/// Telemetry configuration carried in the simulation spec.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Scrape (and latency bucketing) interval.
+    pub interval: SimDuration,
+    /// Burn-rate rule applied to every target.
+    pub rule: BurnRateRule,
+    /// SLO targets to monitor.
+    pub targets: Vec<SloTarget>,
+}
+
+impl Default for TelemetryConfig {
+    /// 100 ms scrapes — ≥ 10 points over even the shortest (2 s) runs.
+    fn default() -> Self {
+        TelemetryConfig {
+            interval: SimDuration::from_millis(100),
+            rule: BurnRateRule::default(),
+            targets: Vec::new(),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Add an SLO target.
+    pub fn with_target(mut self, target: SloTarget) -> Self {
+        self.targets.push(target);
+        self
+    }
+}
+
+/// Everything the hub collected, in serializable form.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Scrape interval in seconds.
+    pub interval_s: f64,
+    /// Number of scrapes performed.
+    pub scrapes: u64,
+    /// Per-class interval series, sorted by class name.
+    pub classes: Vec<ClassSeries>,
+    /// Gauge series, sorted by (metric, instance).
+    pub gauges: Vec<GaugeSeries>,
+    /// SLO alerts fired during the run.
+    pub alerts: Vec<Alert>,
+}
+
+/// The latency series of one traffic class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassSeries {
+    /// Traffic class (workload name).
+    pub class: String,
+    /// Closed intervals, oldest first.
+    pub points: Vec<IntervalStats>,
+}
+
+impl TelemetrySummary {
+    /// The series for one class.
+    pub fn class(&self, name: &str) -> Option<&ClassSeries> {
+        self.classes.iter().find(|c| c.class == name)
+    }
+
+    /// The gauge series for one (kind, instance) pair.
+    pub fn gauge(&self, kind: GaugeKind, instance: &str) -> Option<&GaugeSeries> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == kind.metric_name() && g.instance == instance)
+    }
+}
+
+/// Live collection state driven by the engine.
+pub struct TelemetryHub {
+    config: TelemetryConfig,
+    classes: BTreeMap<String, LatencySeries>,
+    gauges: BTreeMap<(GaugeKind, String), GaugeSeries>,
+    slo: SloMonitor,
+    scrapes: u64,
+}
+
+impl TelemetryHub {
+    /// Hub with the given configuration.
+    pub fn new(config: TelemetryConfig) -> TelemetryHub {
+        let slo = SloMonitor::new(config.rule.clone(), config.targets.clone());
+        TelemetryHub {
+            config,
+            classes: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            slo,
+            scrapes: 0,
+        }
+    }
+
+    /// The scrape interval.
+    pub fn interval(&self) -> SimDuration {
+        self.config.interval
+    }
+
+    /// Record a completed request: its latency (measured from intended
+    /// send time) or `None` for a failure.
+    pub fn observe_latency(&mut self, class: &str, now: SimTime, latency: Option<SimDuration>) {
+        let interval = self.config.interval;
+        let series = self
+            .classes
+            .entry(class.to_string())
+            .or_insert_with(|| LatencySeries::new(interval));
+        match latency {
+            Some(l) => series.record(now, l),
+            None => series.record_error(now),
+        }
+        self.slo.observe(class, now, latency);
+    }
+
+    /// Record one gauge sample for the current scrape.
+    pub fn scrape_gauge(&mut self, kind: GaugeKind, instance: &str, now: SimTime, value: f64) {
+        self.gauges
+            .entry((kind, instance.to_string()))
+            .or_insert_with(|| GaugeSeries::new(kind.metric_name(), instance))
+            .push(now, value);
+    }
+
+    /// Finish one scrape: roll latency intervals forward and evaluate SLO
+    /// rules. Call after the gauge samples for this tick.
+    pub fn on_scrape(&mut self, now: SimTime) {
+        self.scrapes += 1;
+        for series in self.classes.values_mut() {
+            series.advance_to(now);
+        }
+        self.slo.evaluate(now);
+    }
+
+    /// Number of scrapes so far.
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes
+    }
+
+    /// Alerts fired so far.
+    pub fn alerts(&self) -> &[Alert] {
+        self.slo.alerts()
+    }
+
+    /// Close all series and render the summary.
+    pub fn finish(self, now: SimTime) -> TelemetrySummary {
+        TelemetrySummary {
+            interval_s: self.config.interval.as_secs_f64(),
+            scrapes: self.scrapes,
+            classes: self
+                .classes
+                .into_iter()
+                .map(|(class, series)| ClassSeries {
+                    class,
+                    points: series.into_points(now),
+                })
+                .collect(),
+            gauges: self.gauges.into_values().collect(),
+            alerts: self.slo.into_alerts(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_collects_classes_and_gauges() {
+        let mut hub = TelemetryHub::new(TelemetryConfig::default());
+        for i in 0..50u64 {
+            let now = SimTime::from_millis(i * 20);
+            hub.observe_latency("ls", now, Some(SimDuration::from_millis(2)));
+            if i % 5 == 0 {
+                hub.scrape_gauge(GaugeKind::LinkUtilization, "a->b", now, 0.5);
+                hub.on_scrape(now);
+            }
+        }
+        let summary = hub.finish(SimTime::from_secs(1));
+        assert_eq!(summary.scrapes, 10);
+        let ls = summary.class("ls").expect("class series");
+        assert!(ls.points.len() >= 9, "got {} points", ls.points.len());
+        assert!(ls.points.iter().map(|p| p.count).sum::<u64>() >= 50);
+        let util = summary.gauge(GaugeKind::LinkUtilization, "a->b").unwrap();
+        assert_eq!(util.points.len(), 10);
+    }
+
+    #[test]
+    fn hub_fires_alert_on_violations() {
+        let config = TelemetryConfig::default().with_target(SloTarget::new(
+            "ls",
+            SimDuration::from_millis(1),
+            0.001,
+        ));
+        let mut hub = TelemetryHub::new(config);
+        for i in 0..3000u64 {
+            let now = SimTime::from_millis(i);
+            hub.observe_latency("ls", now, Some(SimDuration::from_millis(100)));
+            if i % 100 == 0 {
+                hub.on_scrape(now);
+            }
+        }
+        assert!(!hub.alerts().is_empty());
+        let summary = hub.finish(SimTime::from_secs(3));
+        assert!(!summary.alerts.is_empty());
+    }
+}

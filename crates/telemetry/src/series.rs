@@ -1,0 +1,250 @@
+//! Interval-bucketed time series.
+//!
+//! Two shapes cover everything the scraper collects: [`LatencySeries`]
+//! aggregates latency samples into fixed intervals through a streaming
+//! [`Histogram`] (one histogram per open interval, summarized and reset at
+//! each boundary — memory stays O(intervals), not O(samples)), and
+//! [`GaugeSeries`] records point-in-time samples of instantaneous values
+//! (link utilization, queue depths, counter deltas).
+
+use meshlayer_simcore::{Histogram, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Summary of one closed latency interval.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IntervalStats {
+    /// Interval start, seconds of simulated time.
+    pub t_s: f64,
+    /// Samples recorded in the interval.
+    pub count: u64,
+    /// Failures observed in the interval (recorded alongside latencies).
+    pub errors: u64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th percentile, milliseconds.
+    pub p90_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// Maximum, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Per-interval latency quantiles computed from a streaming histogram.
+#[derive(Clone, Debug)]
+pub struct LatencySeries {
+    interval: SimDuration,
+    cur_start: SimTime,
+    cur: Histogram,
+    cur_errors: u64,
+    points: Vec<IntervalStats>,
+}
+
+impl LatencySeries {
+    /// Series bucketing samples into intervals of the given length.
+    pub fn new(interval: SimDuration) -> LatencySeries {
+        assert!(interval > SimDuration::ZERO, "zero telemetry interval");
+        LatencySeries {
+            interval,
+            cur_start: SimTime::ZERO,
+            cur: Histogram::new(),
+            cur_errors: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// The configured interval length.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    fn close_current(&mut self) {
+        let h = &self.cur;
+        self.points.push(IntervalStats {
+            t_s: self.cur_start.as_secs_f64(),
+            count: h.count(),
+            errors: self.cur_errors,
+            mean_ms: h.mean() / 1e6,
+            p50_ms: h.p50().as_millis_f64(),
+            p90_ms: h.p90().as_millis_f64(),
+            p99_ms: h.p99().as_millis_f64(),
+            max_ms: h.max() as f64 / 1e6,
+        });
+        self.cur.clear();
+        self.cur_errors = 0;
+        self.cur_start += self.interval;
+    }
+
+    /// Close every interval that ends at or before `now`.
+    pub fn advance_to(&mut self, now: SimTime) {
+        while now >= self.cur_start + self.interval {
+            self.close_current();
+        }
+    }
+
+    /// Record one latency sample observed at `now`.
+    pub fn record(&mut self, now: SimTime, latency: SimDuration) {
+        self.advance_to(now);
+        self.cur.record_duration(latency);
+    }
+
+    /// Record one failure observed at `now` (no latency attached).
+    pub fn record_error(&mut self, now: SimTime) {
+        self.advance_to(now);
+        self.cur_errors += 1;
+    }
+
+    /// Close the open interval (if it holds anything) at end of run.
+    pub fn finish(&mut self, now: SimTime) {
+        self.advance_to(now);
+        if !self.cur.is_empty() || self.cur_errors > 0 {
+            self.close_current();
+        }
+    }
+
+    /// All closed intervals, oldest first.
+    pub fn points(&self) -> &[IntervalStats] {
+        &self.points
+    }
+
+    /// Samples in the trailing window ending at the open interval: total
+    /// observations and errors. Used by the SLO monitor.
+    pub fn window_totals(&self, now: SimTime, window: SimDuration) -> (u64, u64) {
+        let from = now.saturating_since(SimTime::ZERO).saturating_sub(window);
+        let from_s = SimDuration::from_nanos(from.as_nanos()).as_secs_f64();
+        let mut total = self.cur.count();
+        let mut errors = self.cur_errors;
+        for p in self.points.iter().rev() {
+            if p.t_s + self.interval.as_secs_f64() <= from_s {
+                break;
+            }
+            total += p.count;
+            errors += p.errors;
+        }
+        (total, errors)
+    }
+
+    /// Consume into the closed points.
+    pub fn into_points(mut self, now: SimTime) -> Vec<IntervalStats> {
+        self.finish(now);
+        self.points
+    }
+}
+
+/// One sample of an instantaneous value.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Sample time, seconds of simulated time.
+    pub t_s: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// A named series of point-in-time samples.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GaugeSeries {
+    /// Metric name (Prometheus-style, e.g. `link_utilization`).
+    pub name: String,
+    /// Instance label (link name, pod id, ...).
+    pub instance: String,
+    /// The samples, in scrape order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl GaugeSeries {
+    /// New empty series.
+    pub fn new(name: impl Into<String>, instance: impl Into<String>) -> GaugeSeries {
+        GaugeSeries {
+            name: name.into(),
+            instance: instance.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append one sample.
+    pub fn push(&mut self, now: SimTime, value: f64) {
+        self.points.push(SeriesPoint {
+            t_s: now.as_secs_f64(),
+            value,
+        });
+    }
+
+    /// Latest sampled value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|p| p.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_close_in_order() {
+        let mut s = LatencySeries::new(SimDuration::from_millis(100));
+        s.record(SimTime::from_millis(10), SimDuration::from_millis(5));
+        s.record(SimTime::from_millis(50), SimDuration::from_millis(7));
+        // Jump two intervals: the empty one in between must still appear.
+        s.record(SimTime::from_millis(250), SimDuration::from_millis(9));
+        s.finish(SimTime::from_millis(300));
+        let pts = s.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].count, 2);
+        assert_eq!(pts[1].count, 0);
+        assert_eq!(pts[2].count, 1);
+        assert!(pts[0].t_s < pts[1].t_s && pts[1].t_s < pts[2].t_s);
+        assert!((pts[2].p99_ms - 9.0).abs() / 9.0 < 0.01);
+    }
+
+    #[test]
+    fn quantiles_per_interval() {
+        let mut s = LatencySeries::new(SimDuration::from_millis(100));
+        for i in 1..=100u64 {
+            s.record(SimTime::from_millis(10), SimDuration::from_millis(i));
+        }
+        s.finish(SimTime::from_millis(100));
+        let p = &s.points()[0];
+        assert_eq!(p.count, 100);
+        assert!((p.p50_ms - 50.0).abs() / 50.0 < 0.02, "p50 {}", p.p50_ms);
+        assert!((p.p99_ms - 99.0).abs() / 99.0 < 0.02, "p99 {}", p.p99_ms);
+        assert!((p.max_ms - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_counted_per_interval() {
+        let mut s = LatencySeries::new(SimDuration::from_millis(100));
+        s.record_error(SimTime::from_millis(10));
+        s.record_error(SimTime::from_millis(150));
+        s.finish(SimTime::from_millis(200));
+        assert_eq!(s.points()[0].errors, 1);
+        assert_eq!(s.points()[1].errors, 1);
+    }
+
+    #[test]
+    fn window_totals_cover_trailing_window() {
+        let mut s = LatencySeries::new(SimDuration::from_millis(100));
+        for ms in [10u64, 110, 210, 310] {
+            s.record(SimTime::from_millis(ms), SimDuration::from_millis(1));
+        }
+        s.record_error(SimTime::from_millis(320));
+        // Window of 150 ms from t=350 reaches back to t=200: covers the
+        // closed interval starting at 200 plus the open one.
+        let (total, errors) =
+            s.window_totals(SimTime::from_millis(350), SimDuration::from_millis(150));
+        assert_eq!(total, 2);
+        assert_eq!(errors, 1);
+        // A huge window covers everything.
+        let (total, _) = s.window_totals(SimTime::from_millis(350), SimDuration::from_secs(10));
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn gauge_series_appends() {
+        let mut g = GaugeSeries::new("link_utilization", "a->b");
+        g.push(SimTime::from_millis(100), 0.5);
+        g.push(SimTime::from_millis(200), 0.7);
+        assert_eq!(g.points.len(), 2);
+        assert_eq!(g.last(), Some(0.7));
+    }
+}

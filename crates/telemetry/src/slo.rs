@@ -1,0 +1,297 @@
+//! SLO targets and multi-window burn-rate alerting.
+//!
+//! Each [`SloTarget`] declares, for one traffic class, a latency objective
+//! and an error budget: the fraction of requests allowed to miss the
+//! objective (exceed the target latency, or fail outright). A
+//! [`BurnRateRule`] fires when the budget is being consumed faster than
+//! `threshold`× the sustainable rate over *both* a fast and a slow window —
+//! the standard SRE construction: the slow window keeps alerts from
+//! triggering on blips, the fast window makes them reset quickly once the
+//! problem clears.
+
+use meshlayer_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A latency/error objective for one traffic class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SloTarget {
+    /// Traffic class (workload name) the objective applies to.
+    pub class: String,
+    /// Requests slower than this count against the budget.
+    pub target_latency: SimDuration,
+    /// Allowed fraction of budget-consuming requests (e.g. `0.01` = 1 %).
+    pub error_budget: f64,
+}
+
+impl SloTarget {
+    /// Objective for `class`: latency under `target_latency` for all but
+    /// an `error_budget` fraction of requests.
+    pub fn new(class: impl Into<String>, target_latency: SimDuration, error_budget: f64) -> Self {
+        SloTarget {
+            class: class.into(),
+            target_latency,
+            error_budget: error_budget.clamp(1e-9, 1.0),
+        }
+    }
+}
+
+/// A two-window burn-rate alerting rule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BurnRateRule {
+    /// Short window: must also be burning so the alert clears fast.
+    pub fast_window: SimDuration,
+    /// Long window: must be burning so blips don't page.
+    pub slow_window: SimDuration,
+    /// Fire when both windows burn faster than this multiple of the
+    /// sustainable rate.
+    pub threshold: f64,
+}
+
+impl BurnRateRule {
+    /// A rule with the given windows and burn threshold.
+    pub fn new(fast_window: SimDuration, slow_window: SimDuration, threshold: f64) -> Self {
+        BurnRateRule {
+            fast_window,
+            slow_window,
+            threshold,
+        }
+    }
+}
+
+impl Default for BurnRateRule {
+    /// Windows scaled to simulation runs (seconds, not hours): 500 ms
+    /// fast, 2 s slow, 2× burn.
+    fn default() -> Self {
+        BurnRateRule::new(
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(2),
+            2.0,
+        )
+    }
+}
+
+/// A fired alert, recorded with simulation timestamps.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Alert {
+    /// Class whose SLO is burning.
+    pub class: String,
+    /// When the alert fired, seconds of simulated time.
+    pub at_s: f64,
+    /// Burn rate over the fast window at fire time.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window at fire time.
+    pub slow_burn: f64,
+    /// The threshold that was exceeded.
+    pub threshold: f64,
+}
+
+struct TargetState {
+    target: SloTarget,
+    /// (time, counted-against-budget) per observation, pruned to the slow
+    /// window.
+    events: VecDeque<(SimTime, bool)>,
+    /// Whether the alert is currently firing (suppresses re-fires).
+    active: bool,
+}
+
+/// Evaluates burn-rate rules over per-class observations.
+pub struct SloMonitor {
+    rule: BurnRateRule,
+    targets: Vec<TargetState>,
+    alerts: Vec<Alert>,
+}
+
+impl SloMonitor {
+    /// Monitor the given targets under one rule.
+    pub fn new(rule: BurnRateRule, targets: Vec<SloTarget>) -> SloMonitor {
+        SloMonitor {
+            rule,
+            targets: targets
+                .into_iter()
+                .map(|target| TargetState {
+                    target,
+                    events: VecDeque::new(),
+                    active: false,
+                })
+                .collect(),
+            alerts: Vec::new(),
+        }
+    }
+
+    /// The rule in force.
+    pub fn rule(&self) -> &BurnRateRule {
+        &self.rule
+    }
+
+    /// Record one completed request for `class`: its latency, or `None`
+    /// for an outright failure.
+    pub fn observe(&mut self, class: &str, now: SimTime, latency: Option<SimDuration>) {
+        for t in &mut self.targets {
+            if t.target.class == class {
+                let bad = match latency {
+                    Some(l) => l > t.target.target_latency,
+                    None => true,
+                };
+                t.events.push_back((now, bad));
+            }
+        }
+    }
+
+    fn burn_over(
+        events: &VecDeque<(SimTime, bool)>,
+        now: SimTime,
+        window: SimDuration,
+        budget: f64,
+    ) -> f64 {
+        let from = SimTime::from_nanos(now.as_nanos().saturating_sub(window.as_nanos()));
+        let (mut total, mut bad) = (0u64, 0u64);
+        for &(at, b) in events.iter().rev() {
+            if at < from {
+                break;
+            }
+            total += 1;
+            if b {
+                bad += 1;
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / budget
+    }
+
+    /// Evaluate all rules at `now` (called once per scrape). Newly firing
+    /// alerts are recorded; an alert must clear (both windows below
+    /// threshold) before the same class can fire again.
+    pub fn evaluate(&mut self, now: SimTime) {
+        let rule = self.rule.clone();
+        for t in &mut self.targets {
+            // Prune events older than the slow window (plus one interval of
+            // slack so a window boundary never loses an event mid-scrape).
+            let keep_from = SimTime::from_nanos(
+                now.as_nanos()
+                    .saturating_sub(rule.slow_window.as_nanos() * 2),
+            );
+            while t.events.front().is_some_and(|&(at, _)| at < keep_from) {
+                t.events.pop_front();
+            }
+            let fast = Self::burn_over(&t.events, now, rule.fast_window, t.target.error_budget);
+            let slow = Self::burn_over(&t.events, now, rule.slow_window, t.target.error_budget);
+            let firing = fast > rule.threshold && slow > rule.threshold;
+            if firing && !t.active {
+                self.alerts.push(Alert {
+                    class: t.target.class.clone(),
+                    at_s: now.as_secs_f64(),
+                    fast_burn: fast,
+                    slow_burn: slow,
+                    threshold: rule.threshold,
+                });
+            }
+            t.active = firing;
+        }
+    }
+
+    /// All alerts fired so far, in fire order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Consume the monitor, returning the fired alerts.
+    pub fn into_alerts(self) -> Vec<Alert> {
+        self.alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(budget: f64) -> SloMonitor {
+        SloMonitor::new(
+            BurnRateRule::new(
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(800),
+                2.0,
+            ),
+            vec![SloTarget::new("ls", SimDuration::from_millis(10), budget)],
+        )
+    }
+
+    #[test]
+    fn nominal_traffic_never_fires() {
+        let mut m = monitor(0.01);
+        for i in 0..1000u64 {
+            let now = SimTime::from_millis(i);
+            m.observe("ls", now, Some(SimDuration::from_millis(1)));
+            if i % 100 == 0 {
+                m.evaluate(now);
+            }
+        }
+        m.evaluate(SimTime::from_secs(1));
+        assert!(m.alerts().is_empty(), "{:?}", m.alerts());
+    }
+
+    #[test]
+    fn sustained_violation_fires_once() {
+        let mut m = monitor(0.01);
+        for i in 0..1000u64 {
+            let now = SimTime::from_millis(i);
+            // Every request blows the 10 ms objective.
+            m.observe("ls", now, Some(SimDuration::from_millis(50)));
+            if i % 100 == 0 {
+                m.evaluate(now);
+            }
+        }
+        assert_eq!(m.alerts().len(), 1, "{:?}", m.alerts());
+        let a = &m.alerts()[0];
+        assert_eq!(a.class, "ls");
+        assert!(a.fast_burn > 2.0 && a.slow_burn > 2.0);
+    }
+
+    #[test]
+    fn refires_after_clearing() {
+        let mut m = monitor(0.4); // all-bad phases burn at 1.0/0.4 = 2.5x
+        let mut t = 0u64;
+        let phase = |m: &mut SloMonitor, bad: bool, t: &mut u64| {
+            for _ in 0..500 {
+                *t += 1;
+                let now = SimTime::from_millis(*t);
+                let lat = if bad { 50 } else { 1 };
+                m.observe("ls", now, Some(SimDuration::from_millis(lat)));
+                if t.is_multiple_of(50) {
+                    m.evaluate(now);
+                }
+            }
+        };
+        phase(&mut m, true, &mut t); // fires
+        phase(&mut m, false, &mut t); // clears
+                                      // Long enough that the slow window is all-bad again.
+        phase(&mut m, true, &mut t);
+        phase(&mut m, true, &mut t); // fires again
+        assert_eq!(m.alerts().len(), 2, "{:?}", m.alerts());
+    }
+
+    #[test]
+    fn failures_count_against_budget() {
+        let mut m = monitor(0.01);
+        for i in 0..1000u64 {
+            let now = SimTime::from_millis(i);
+            m.observe("ls", now, None);
+            if i % 100 == 0 {
+                m.evaluate(now);
+            }
+        }
+        assert!(!m.alerts().is_empty());
+    }
+
+    #[test]
+    fn other_classes_ignored() {
+        let mut m = monitor(0.01);
+        for i in 0..1000u64 {
+            m.observe("batch", SimTime::from_millis(i), None);
+        }
+        m.evaluate(SimTime::from_secs(1));
+        assert!(m.alerts().is_empty());
+    }
+}

@@ -404,7 +404,11 @@ mod tests {
         cc.on_loss(SimTime::ZERO); // enter CA with ssthresh = cwnd/2
         let w = cc.cwnd();
         cc.on_ack(w, RTT, SimTime::ZERO); // one full window acked
-        assert!(cc.cwnd() >= w + MSS && cc.cwnd() <= w + MSS + 8, "{}", cc.cwnd());
+        assert!(
+            cc.cwnd() >= w + MSS && cc.cwnd() <= w + MSS + 8,
+            "{}",
+            cc.cwnd()
+        );
     }
 
     #[test]
@@ -489,7 +493,12 @@ mod tests {
             reno.on_ack(reno.cwnd(), SimDuration::from_millis(16), SimTime::ZERO);
             led.on_ack(led.cwnd(), SimDuration::from_millis(16), SimTime::ZERO);
         }
-        assert!(led.cwnd() * 10 < reno.cwnd(), "led={} reno={}", led.cwnd(), reno.cwnd());
+        assert!(
+            led.cwnd() * 10 < reno.cwnd(),
+            "led={} reno={}",
+            led.cwnd(),
+            reno.cwnd()
+        );
     }
 
     #[test]
@@ -501,7 +510,11 @@ mod tests {
         cc.on_ack(MSS, SimDuration::from_millis(10), t); // max=10ms, congested already
         let w = cc.cwnd();
         // High delay again within inference -> minimal window.
-        cc.on_ack(MSS, SimDuration::from_millis(10), t + SimDuration::from_millis(1));
+        cc.on_ack(
+            MSS,
+            SimDuration::from_millis(10),
+            t + SimDuration::from_millis(1),
+        );
         assert_eq!(cc.cwnd(), MSS, "second indication should floor (w was {w})");
     }
 

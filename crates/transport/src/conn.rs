@@ -436,11 +436,7 @@ impl Conn {
             self.dup_acks = 0;
             self.consecutive_timeouts = 0;
             // Count fully acked messages.
-            let acked_keys: Vec<u64> = self
-                .sent_segs
-                .range(..ack)
-                .map(|(&s, _)| s)
-                .collect();
+            let acked_keys: Vec<u64> = self.sent_segs.range(..ack).map(|(&s, _)| s).collect();
             let mut finished_msgs: Vec<u64> = Vec::new();
             for s in acked_keys {
                 if let Some(seg) = self.sent_segs.remove(&s) {
@@ -466,7 +462,11 @@ impl Conn {
                 self.rtt.on_sample(rtt);
                 self.cc.on_ack(newly, rtt, now);
             } else {
-                self.cc.on_ack(newly, self.rtt.srtt().unwrap_or(SimDuration::from_micros(500)), now);
+                self.cc.on_ack(
+                    newly,
+                    self.rtt.srtt().unwrap_or(SimDuration::from_micros(500)),
+                    now,
+                );
             }
             if let Some(r) = self.recovery_until {
                 if ack >= r {
@@ -690,8 +690,20 @@ mod tests {
             to_a = next_a;
             to_b = next_b;
         }
-        assert_eq!(del_b, vec![Delivered { msg: 1, len: 10_000 }]);
-        assert_eq!(del_a, vec![Delivered { msg: 2, len: 20_000 }]);
+        assert_eq!(
+            del_b,
+            vec![Delivered {
+                msg: 1,
+                len: 10_000
+            }]
+        );
+        assert_eq!(
+            del_a,
+            vec![Delivered {
+                msg: 2,
+                len: 20_000
+            }]
+        );
     }
 
     #[test]

@@ -107,10 +107,8 @@ mod tests {
 
     #[test]
     fn rto_clamped_to_bounds() {
-        let mut e = RttEstimator::with_bounds(
-            SimDuration::from_millis(50),
-            SimDuration::from_millis(100),
-        );
+        let mut e =
+            RttEstimator::with_bounds(SimDuration::from_millis(50), SimDuration::from_millis(100));
         e.on_sample(SimDuration::from_micros(100));
         assert_eq!(e.rto(), SimDuration::from_millis(50));
         let mut e2 = RttEstimator::with_bounds(SimDuration::ZERO, SimDuration::from_millis(100));

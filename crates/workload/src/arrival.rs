@@ -69,7 +69,10 @@ mod tests {
 
     fn mean_gap(a: Arrival, n: usize) -> f64 {
         let mut rng = SimRng::new(1);
-        (0..n).map(|_| a.next_gap(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| a.next_gap(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]

@@ -139,11 +139,7 @@ mod tests {
     fn records_latency_from_intended_time() {
         let mut r = rec();
         // Intended at 20 s, completed at 20.150 s -> 150 ms.
-        r.record_ok(
-            "ls",
-            SimTime::from_secs(20),
-            SimTime::from_millis(20_150),
-        );
+        r.record_ok("ls", SimTime::from_secs(20), SimTime::from_millis(20_150));
         let p50 = r.quantile("ls", 0.5);
         assert!((p50.as_millis_f64() - 150.0).abs() < 1.0, "{p50}");
     }

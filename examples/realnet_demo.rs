@@ -47,12 +47,7 @@ fn pod(
 }
 
 /// Issue `n` requests of one class; return sorted latencies (ms).
-fn client(
-    frontend: std::net::SocketAddr,
-    priority: &str,
-    n: usize,
-    gap: Duration,
-) -> Vec<f64> {
+fn client(frontend: std::net::SocketAddr, priority: &str, n: usize, gap: Duration) -> Vec<f64> {
     let mut lat = Vec::with_capacity(n);
     for i in 0..n {
         let start = Instant::now();

@@ -20,8 +20,8 @@ fn run(scavenger: Option<CcAlgo>) {
     };
     let mut spec = elibrary(&params);
     spec.xlayer = XLayerConfig {
-        classify: true, // priorities get their own connection pools...
-        ..XLayerConfig::baseline() // ...but share replicas and FIFO links
+        classify: true,             // priorities get their own connection pools...
+        ..XLayerConfig::baseline()  // ...but share replicas and FIFO links
     };
     if let Some(algo) = scavenger {
         spec.xlayer = spec.xlayer.with_scavenger(algo);

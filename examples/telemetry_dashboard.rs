@@ -1,0 +1,149 @@
+//! ASCII telemetry dashboard: the time-series view of a run.
+//!
+//! Runs the e-library mix with an SLO on the latency-sensitive class,
+//! then renders what a Grafana board over the scrape series would show:
+//! per-interval p99 sparklines per class, the hottest links and compute
+//! queues, trace-derived critical paths and per-service self time, and
+//! any SLO burn-rate alerts that fired.
+//!
+//! ```sh
+//! cargo run --release --example telemetry_dashboard
+//! ```
+
+use meshlayer::apps::{elibrary, ElibraryParams};
+use meshlayer::core::Simulation;
+use meshlayer::core::XLayerConfig;
+use meshlayer::simcore::SimDuration;
+use meshlayer::telemetry::{GaugeSeries, SloTarget, TelemetrySummary};
+
+/// Render a series of values as a unicode sparkline.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[((v / max * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+fn gauge_sparkline(g: &GaugeSeries) -> String {
+    let vals: Vec<f64> = g.points.iter().map(|p| p.value).collect();
+    sparkline(&vals)
+}
+
+fn print_latency_panel(t: &TelemetrySummary) {
+    println!(
+        "── per-interval p99 latency ({}ms scrapes) ──",
+        t.interval_s * 1000.0
+    );
+    for c in &t.classes {
+        let p99: Vec<f64> = c.points.iter().map(|p| p.p99_ms).collect();
+        let last = c.points.iter().rev().find(|p| p.count > 0);
+        println!(
+            "  {:<20} {}  p99 now {:>7.1}ms",
+            c.class,
+            sparkline(&p99),
+            last.map_or(0.0, |p| p.p99_ms)
+        );
+        let errs: u64 = c.points.iter().map(|p| p.errors).sum();
+        if errs > 0 {
+            let ev: Vec<f64> = c.points.iter().map(|p| p.errors as f64).collect();
+            println!(
+                "  {:<20} {}  {} errors total",
+                "  errors",
+                sparkline(&ev),
+                errs
+            );
+        }
+    }
+}
+
+fn print_gauge_panel(t: &TelemetrySummary, metric: &str, title: &str, unit: &str, top: usize) {
+    let mut series: Vec<&GaugeSeries> = t.gauges.iter().filter(|g| g.name == metric).collect();
+    series.sort_by(|a, b| {
+        let peak = |g: &GaugeSeries| g.points.iter().map(|p| p.value).fold(0.0f64, f64::max);
+        peak(b)
+            .partial_cmp(&peak(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let shown: Vec<_> = series
+        .into_iter()
+        .filter(|g| g.points.iter().any(|p| p.value > 0.0))
+        .take(top)
+        .collect();
+    if shown.is_empty() {
+        return;
+    }
+    println!("── {title} ──");
+    for g in shown {
+        println!(
+            "  {:<20} {}  last {:>8.2}{unit}",
+            g.instance,
+            gauge_sparkline(g),
+            g.last().unwrap_or(0.0)
+        );
+    }
+}
+
+fn main() {
+    let params = ElibraryParams {
+        ls_rps: 40.0,
+        batch_rps: 40.0,
+        ..ElibraryParams::default()
+    };
+    let mut spec = elibrary(&params);
+    spec.xlayer = XLayerConfig::paper_prototype();
+    spec.config.duration = SimDuration::from_secs(8);
+    spec.config.warmup = SimDuration::from_secs(1);
+    spec.config.telemetry.targets.push(SloTarget::new(
+        "latency-sensitive",
+        SimDuration::from_millis(60),
+        0.05,
+    ));
+    let mut sim = Simulation::build(spec);
+    let m = sim.run();
+
+    println!("{}", m.render());
+    let t = &m.telemetry;
+    print_latency_panel(t);
+    print_gauge_panel(t, "link_utilization", "link utilization", "", 5);
+    print_gauge_panel(t, "link_queue_depth", "link queue depth (pkts)", "", 4);
+    print_gauge_panel(t, "pod_compute_queue", "compute queues (jobs)", "", 4);
+    print_gauge_panel(t, "sidecar_retries", "sidecar retries per scrape", "", 3);
+
+    println!("── trace analytics ({} traces) ──", m.analytics.traces);
+    for p in m.analytics.critical_paths.iter().take(4) {
+        println!(
+            "  {:>5}x  {}  (mean {:.1}ms, max {:.1}ms)",
+            p.count,
+            p.path.join(" -> "),
+            p.mean_ms,
+            p.max_ms
+        );
+    }
+    println!("  self time by service:");
+    for s in m.analytics.self_times.iter().take(5) {
+        println!(
+            "    {:<16} {:>9.1}ms self / {:>9.1}ms total over {} spans",
+            s.service, s.self_ms, s.total_ms, s.spans
+        );
+    }
+
+    println!("── SLO burn-rate alerts ──");
+    if t.alerts.is_empty() {
+        println!("  none fired");
+    } else {
+        for a in &t.alerts {
+            println!(
+                "  t={:>6.2}s  {}: burn fast {:.1}x / slow {:.1}x (threshold {:.1}x)",
+                a.at_s, a.class, a.fast_burn, a.slow_burn, a.threshold
+            );
+        }
+    }
+}

@@ -23,7 +23,11 @@ fn main() {
     println!("{}", metrics.render());
 
     let traces = sim.tracer().traces();
-    println!("collected {} traces ({} spans)\n", traces.len(), metrics.spans);
+    println!(
+        "collected {} traces ({} spans)\n",
+        traces.len(),
+        metrics.spans
+    );
 
     // Deepest trace: shows the "buried several hops deep" structure.
     if let Some(deepest) = traces.iter().max_by_key(|t| t.depth()) {

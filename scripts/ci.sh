@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The repo's CI gate: formatting, lints (warnings are errors), and the
+# full test suite. Run before sending a PR; run_all_experiments.sh calls
+# it first so experiment artifacts always come from a clean tree.
+#
+# MESHLAYER_CI_SKIP_TESTS=1 skips the test step (lint-only quick pass).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
+  echo "== cargo test =="
+  cargo test --offline --workspace -q
+fi
+
+echo "ci: all checks passed"

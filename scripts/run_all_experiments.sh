@@ -2,8 +2,13 @@
 # Regenerate every figure/table of EXPERIMENTS.md at full length.
 # Results land in results/ as plain text (plus the Fig 4 JSON rows).
 #
+# Each bin also dumps telemetry artifacts with stable names into
+# results/: <bin>_telemetry.json, <bin>_latency.csv, <bin>_gauges.csv,
+# <bin>_metrics.prom for bin in {fig4, a1..a5}, plus fig4_spans.json
+# (Zipkin-style span dump for the representative Fig 4 run).
+#
 # Full length takes tens of minutes; export MESHLAYER_SECS=10 for a
-# quick pass.
+# quick pass. MESHLAYER_SKIP_CI=1 skips the lint/test gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +16,10 @@ SECS="${MESHLAYER_SECS:-60}"
 WARM="${MESHLAYER_WARMUP:-8}"
 OUT=results
 mkdir -p "$OUT"
+
+if [[ "${MESHLAYER_SKIP_CI:-0}" != "1" ]]; then
+  ./scripts/ci.sh
+fi
 
 cargo build --release -p meshlayer-bench
 

@@ -52,7 +52,10 @@ fn cmd_run(rps: f64, secs: u64) -> ExitCode {
     summarize("w/o cross-layer optimization", &base);
     let opt = Simulation::build(spec_at(rps, secs, XLayerConfig::paper_prototype())).run();
     summarize("w/ cross-layer optimization", &opt);
-    if let (Some(b), Some(o)) = (base.class("latency-sensitive"), opt.class("latency-sensitive")) {
+    if let (Some(b), Some(o)) = (
+        base.class("latency-sensitive"),
+        opt.class("latency-sensitive"),
+    ) {
         println!(
             "latency-sensitive speedup: p50 {:.2}x, p99 {:.2}x",
             b.p50_ms / o.p50_ms.max(1e-9),

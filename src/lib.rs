@@ -36,5 +36,6 @@ pub use meshlayer_mesh as mesh;
 pub use meshlayer_netsim as netsim;
 pub use meshlayer_realnet as realnet;
 pub use meshlayer_simcore as simcore;
+pub use meshlayer_telemetry as telemetry;
 pub use meshlayer_transport as transport;
 pub use meshlayer_workload as workload;

@@ -29,9 +29,9 @@ fn fig1_every_pod_gets_a_sidecar_and_cert() {
     for pod in sim.cluster().pods() {
         let cert = sim.control().cert(pod.id).expect("cert issued at deploy");
         assert!(cert.valid_at(SimTime::ZERO));
-        assert!(cert.spiffe_id.contains(
-            pod.labels.get("app").expect("app label")
-        ));
+        assert!(cert
+            .spiffe_id
+            .contains(pod.labels.get("app").expect("app label")));
     }
 }
 
@@ -116,7 +116,11 @@ fn fig2_stack_layers_compose() {
 #[test]
 fn mtls_toggle_adds_latency() {
     let run = |mtls: bool| {
-        let services = vec![ServiceSpec::new("web", 1, ServiceBehavior::leaf(0.0005, 512.0))];
+        let services = vec![ServiceSpec::new(
+            "web",
+            1,
+            ServiceBehavior::leaf(0.0005, 512.0),
+        )];
         let workloads = vec![WorkloadSpec::get("u", "/q", 50.0).with_authority("web")];
         let mut spec = SimSpec::new(services, workloads);
         spec.mesh.mtls = mtls;

@@ -41,7 +41,11 @@ fn retries_mask_a_flaky_replica() {
     let flaky = sim.cluster().endpoints("backend", None)[0];
     sim.cluster_mut().pod_mut(flaky).failure_rate = 0.3;
     let m = sim.run();
-    assert!(m.fleet.retries > 10, "retries happened: {}", m.fleet.retries);
+    assert!(
+        m.fleet.retries > 10,
+        "retries happened: {}",
+        m.fleet.retries
+    );
     assert!(m.fleet.resp_5xx > 0, "failures were observed upstream");
     let failure_ratio = m.world.roots_failed as f64 / m.world.roots_started.max(1) as f64;
     // Unmasked failure rate through one of two replicas would be ~15%;
@@ -110,7 +114,11 @@ fn total_backend_death_fails_fast_through_breaker() {
         sim.cluster_mut().pod_mut(pod).failure_rate = 1.0;
     }
     let m = sim.run();
-    assert!(m.world.roots_failed > 100, "everything fails: {:?}", m.world);
+    assert!(
+        m.world.roots_failed > 100,
+        "everything fails: {:?}",
+        m.world
+    );
     assert_eq!(m.world.roots_ok, 0);
     assert!(
         m.fleet.fail_fast > 50,
@@ -157,7 +165,10 @@ fn per_try_timeout_turns_hangs_into_504s_or_retries() {
     assert!(m.world.attempt_timeouts >= 5, "{:?}", m.world);
     assert!(m.world.roots_failed > 20);
     assert_eq!(m.world.roots_ok, 0, "nothing completes under the timeout");
-    assert!(m.fleet.fail_fast > 0, "breaker opened after repeated timeouts");
+    assert!(
+        m.fleet.fail_fast > 0,
+        "breaker opened after repeated timeouts"
+    );
 }
 
 #[test]
@@ -179,6 +190,9 @@ fn compute_overload_produces_503s() {
     let wl = WorkloadSpec::get("u", "/x", 100.0).with_authority("backend");
     let mut spec = SimSpec::new(vec![backend], vec![wl]);
     spec.mesh.default_policy.retry = RetryPolicy::none();
+    // Re-probe quickly so the run observes many queue-overflow 503s
+    // (one per half-open probe) on top of the fail-fast shedding.
+    spec.mesh.default_policy.breaker.open_duration = SimDuration::from_millis(100);
     spec.config.duration = SimDuration::from_secs(4);
     spec.config.warmup = SimDuration::from_millis(500);
     let m = Simulation::build(spec).run();
@@ -189,7 +203,11 @@ fn compute_overload_produces_503s() {
         "queue overflow rejections: {:?}",
         m.world
     );
-    assert!(m.world.roots_failed > 200, "overload failures: {:?}", m.world);
+    assert!(
+        m.world.roots_failed > 200,
+        "overload failures: {:?}",
+        m.world
+    );
     assert!(m.fleet.fail_fast > 0, "breaker shed load");
     // The pod's own counter agrees.
     let pod = m.pods.iter().find(|p| p.name == "backend-1").expect("pod");

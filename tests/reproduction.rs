@@ -59,7 +59,10 @@ fn t1_direction_batch_not_destroyed() {
         b.p99_ms,
         o.p99_ms
     );
-    assert!(o.completed as f64 > b.completed as f64 * 0.8, "batch goodput collapsed");
+    assert!(
+        o.completed as f64 > b.completed as f64 * 0.8,
+        "batch goodput collapsed"
+    );
 }
 
 /// The bottleneck link is where the contention lives (sanity for the
@@ -143,7 +146,12 @@ fn ecommerce_scenario_serves_all_four_workloads() {
     spec.config.duration = SimDuration::from_secs(6);
     spec.config.warmup = SimDuration::from_secs(1);
     let m = Simulation::build(spec).run();
-    for class in ["user-browse", "user-checkout", "ads-analytics", "log-collect"] {
+    for class in [
+        "user-browse",
+        "user-checkout",
+        "ads-analytics",
+        "log-collect",
+    ] {
         let c = m.class(class).unwrap_or_else(|| panic!("{class} missing"));
         assert!(c.completed > 5, "{class}: only {} completed", c.completed);
     }

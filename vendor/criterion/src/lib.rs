@@ -1,0 +1,176 @@
+//! In-tree criterion facade.
+//!
+//! Implements the subset of criterion's API the bench files use
+//! (`benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_custom`, `black_box`, the `criterion_group!` /
+//! `criterion_main!` macros) as a simple calibrated timing loop:
+//! each benchmark is warmed up, an iteration count is chosen to fill
+//! roughly 100 ms per sample, and the mean ns/iter over the samples is
+//! printed. No statistics engine, no plots — enough to keep
+//! `cargo bench` (and `cargo test --benches`) building and producing
+//! comparable numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let samples = self.sample_size;
+        run_benchmark(&name.into(), samples, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the chosen number of iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hand full timing control to the closure: it receives the iteration
+    /// count and returns the measured duration.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn run_benchmark(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: find an iteration count that takes roughly 100 ms,
+    // starting from one timed iteration.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(100);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        best = best.min(b.elapsed);
+    }
+    let mean_ns = total.as_nanos() as f64 / (samples as f64 * iters as f64);
+    let best_ns = best.as_nanos() as f64 / iters as f64;
+    println!(
+        "bench {name:<40} {mean_ns:>12.1} ns/iter (best {best_ns:.1}, {iters} iters x {samples})"
+    );
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` passes harness flags; a plain run
+            // benches everything. Keep it simple: always run.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        let mut hits = 0u64;
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                hits += iters;
+                Duration::from_micros(iters)
+            })
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+}

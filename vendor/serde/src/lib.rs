@@ -1,0 +1,391 @@
+//! In-tree serde facade.
+//!
+//! The build environment is offline, so the workspace vendors the small
+//! serde surface it actually uses: `#[derive(Serialize, Deserialize)]` on
+//! non-generic structs/enums, and JSON round-trips via the sibling
+//! `serde_json` facade. Serialization goes through a self-describing
+//! [`Node`] tree whose JSON rendering matches serde_json's defaults
+//! (externally tagged enums, transparent newtypes, maps as objects).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u128),
+    /// Negative integer.
+    Int(i128),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Node>),
+    /// Object (insertion-ordered key/value pairs).
+    Map(Vec<(String, Node)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can render itself into a [`Node`].
+pub trait Serialize {
+    /// Convert to the data model.
+    fn serialize(&self) -> Node;
+}
+
+/// A value reconstructible from a [`Node`].
+pub trait Deserialize: Sized {
+    /// Convert from the data model.
+    fn deserialize(n: &Node) -> Result<Self, Error>;
+}
+
+/// Look up `key` in a map node and deserialize it (derive helper).
+pub fn de_field<T: Deserialize>(n: &Node, key: &str) -> Result<T, Error> {
+    match n {
+        Node::Map(entries) => match entries.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::deserialize(v),
+            None => Err(Error::msg(format!("missing field `{key}`"))),
+        },
+        _ => Err(Error::msg(format!(
+            "expected object with field `{key}`, got {n:?}"
+        ))),
+    }
+}
+
+/// Expect a sequence of exactly `len` items (derive helper).
+pub fn de_seq(n: &Node, len: usize) -> Result<&[Node], Error> {
+    match n {
+        Node::Seq(items) if items.len() == len => Ok(items),
+        Node::Seq(items) => Err(Error::msg(format!(
+            "expected sequence of {len}, got {}",
+            items.len()
+        ))),
+        _ => Err(Error::msg(format!("expected sequence, got {n:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Node { Node::UInt(*self as u128) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(n: &Node) -> Result<Self, Error> {
+                match n {
+                    Node::UInt(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::msg(format!("{v} out of range for {}", stringify!($t)))),
+                    Node::Int(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::msg(format!("{v} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::msg(format!("expected integer, got {n:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Node {
+                if *self < 0 { Node::Int(*self as i128) } else { Node::UInt(*self as u128) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(n: &Node) -> Result<Self, Error> {
+                match n {
+                    Node::UInt(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::msg(format!("{v} out of range for {}", stringify!($t)))),
+                    Node::Int(v) => <$t>::try_from(*v)
+                        .map_err(|_| Error::msg(format!("{v} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::msg(format!("expected integer, got {n:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, u128, usize);
+impl_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Node {
+        if self.is_finite() {
+            Node::Float(*self)
+        } else {
+            Node::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        match n {
+            Node::Float(v) => Ok(*v),
+            Node::UInt(v) => Ok(*v as f64),
+            Node::Int(v) => Ok(*v as f64),
+            Node::Null => Ok(f64::NAN),
+            _ => Err(Error::msg(format!("expected number, got {n:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Node {
+        (*self as f64).serialize()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        f64::deserialize(n).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Node {
+        Node::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        match n {
+            Node::Bool(b) => Ok(*b),
+            _ => Err(Error::msg(format!("expected bool, got {n:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Node {
+        Node::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        match n {
+            Node::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg(format!("expected string, got {n:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Node {
+        Node::Str((*self).to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Node {
+        Node::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        match n {
+            Node::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::msg(format!(
+                "expected single-char string, got {n:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Node {
+        match self {
+            Some(v) => v.serialize(),
+            None => Node::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        match n {
+            Node::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        match n {
+            Node::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::msg(format!("expected array, got {n:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize(&self) -> Node {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Node {
+                Node::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(n: &Node) -> Result<Self, Error> {
+                const LEN: usize = [$(stringify!($t)),+].len();
+                let items = de_seq(n, LEN)?;
+                let mut it = items.iter();
+                Ok(($($t::deserialize(it.next().expect("length checked"))?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Node {
+        // Sort keys so output is deterministic (HashMap iteration is not).
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Node::Map(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        match n {
+            Node::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::msg(format!("expected object, got {n:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Node {
+        Node::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        match n {
+            Node::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::msg(format!("expected object, got {n:?}"))),
+        }
+    }
+}
+
+impl Serialize for Node {
+    fn serialize(&self) -> Node {
+        self.clone()
+    }
+}
+
+impl Deserialize for Node {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        Ok(n.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        let f = f64::deserialize(&1.5f64.serialize()).unwrap();
+        assert!((f - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let back: Vec<(u64, String)> = Deserialize::deserialize(&v.serialize()).unwrap();
+        assert_eq!(back, v);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&o.serialize()).unwrap(), None);
+        let mut m = HashMap::new();
+        m.insert("k".to_string(), 7u8);
+        let back: HashMap<String, u8> = Deserialize::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn range_errors() {
+        assert!(u8::deserialize(&Node::UInt(300)).is_err());
+        assert!(u64::deserialize(&Node::Str("x".into())).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Derive macros for the in-tree `serde` facade.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serde-compatible surface. These derives parse the item token
+//! stream by hand (no `syn`/`quote`) and emit impls of the facade's
+//! `Serialize`/`Deserialize` traits against its `Node` data model, matching
+//! serde_json's default representation (externally tagged enums, newtype
+//! transparency, struct-as-object).
+//!
+//! Supported shapes — everything this workspace derives on: non-generic
+//! structs (unit / tuple / named) and enums whose variants are unit, tuple
+//! or struct-like.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Kinds of field lists a struct or enum variant can carry.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// The parsed derive input.
+enum Item {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+/// Skip outer attributes (`#[...]`, including expanded doc comments) and a
+/// visibility qualifier (`pub`, `pub(...)`) starting at `*i`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse a brace-group token stream of named fields into their names,
+/// skipping types (tracking `<`/`>` depth so commas inside generics don't
+/// split fields).
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        names.push(name.to_string());
+        i += 1;
+        // Expect ':' then consume the type until a top-level ','.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            i += 1;
+        }
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Count the fields of a tuple struct/variant (top-level commas, angle
+/// aware).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut fields = 1usize;
+    let mut angle = 0i32;
+    let mut seen_tokens_in_field = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                seen_tokens_in_field = false;
+                continue;
+            }
+            _ => {}
+        }
+        seen_tokens_in_field = true;
+    }
+    // Tolerate a trailing comma.
+    if !seen_tokens_in_field {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip a separating comma (and any explicit discriminant, unused
+        // in this workspace).
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Parse a derive input into (type name, item shape).
+fn parse_item(input: TokenStream) -> (String, Item) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive");
+    }
+    let item = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Item::Struct(Fields::Unit),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (name, item)
+}
+
+/// Emit `impl Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, item) = parse_item(input);
+    let body = match &item {
+        Item::Struct(Fields::Unit) => "::serde::Node::Null".to_string(),
+        Item::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Item::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect();
+            format!("::serde::Node::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Item::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Node::Map(::std::vec![{}])", items.join(", "))
+        }
+        Item::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.fields {
+                    Fields::Unit => format!(
+                        "{name}::{vn} => ::serde::Node::Str(::std::string::String::from(\"{vn}\")),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vn}(__f0) => ::serde::Node::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::serialize(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::serialize(__f{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({pats}) => ::serde::Node::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Node::Seq(::std::vec![{items}]))]),",
+                            pats = pats.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let pats = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {pats} }} => ::serde::Node::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Node::Map(::std::vec![{items}]))]),",
+                            items = items.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Node {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Emit `impl Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, item) = parse_item(input);
+    let body = match &item {
+        Item::Struct(Fields::Unit) => {
+            format!("let _ = __n;\n::std::result::Result::Ok({name})")
+        }
+        Item::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__n)?))")
+        }
+        Item::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&__items[{k}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::de_seq(__n, {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Item::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__n, \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Item::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                        // Also accept the {"Variant": null} form.
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize(&__items[{k}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => {{ let __items = ::serde::de_seq(__inner, {n})?; ::std::result::Result::Ok({name}::{vn}({})) }}",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(__inner, \"{f}\")?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __n {{\n\
+                     ::serde::Node::Str(__s) => match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Node::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         let _ = __inner;\n\
+                         match __tag.as_str() {{\n\
+                             {tagged}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::msg(\"invalid enum representation for {name}\")),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__n: &::serde::Node) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
