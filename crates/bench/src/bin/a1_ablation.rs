@@ -6,6 +6,9 @@ use meshlayer_bench::{run_elibrary, write_telemetry_artifacts, RunLength};
 use meshlayer_core::XLayerConfig;
 
 fn main() {
+    if let Some(code) = meshlayer_bench::handle_flight("a1_ablation") {
+        std::process::exit(code);
+    }
     let len = RunLength::from_env();
     let rps: f64 = std::env::args()
         .nth(1)

@@ -11,6 +11,9 @@ use meshlayer_core::{Simulation, XLayerConfig};
 use meshlayer_transport::CcAlgo;
 
 fn main() {
+    if let Some(code) = meshlayer_bench::handle_flight("a2_scavenger") {
+        std::process::exit(code);
+    }
     let len = RunLength::from_env();
     let rps: f64 = std::env::args()
         .nth(1)

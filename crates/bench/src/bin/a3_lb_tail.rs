@@ -12,6 +12,9 @@ use meshlayer_core::Simulation;
 use meshlayer_mesh::LbPolicy;
 
 fn main() {
+    if let Some(code) = meshlayer_bench::handle_flight("a3_lb_tail") {
+        std::process::exit(code);
+    }
     let len = RunLength::from_env();
     let rps: f64 = std::env::args()
         .nth(1)

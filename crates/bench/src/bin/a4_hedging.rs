@@ -12,6 +12,9 @@ use meshlayer_core::Simulation;
 use meshlayer_simcore::{Dist, SimDuration};
 
 fn main() {
+    if let Some(code) = meshlayer_bench::handle_flight("a4_hedging") {
+        std::process::exit(code);
+    }
     let len = RunLength::from_env();
     let rps: f64 = std::env::args()
         .nth(1)

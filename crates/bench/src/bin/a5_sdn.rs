@@ -15,6 +15,9 @@ use meshlayer_mesh::LbPolicy;
 use meshlayer_simcore::Dist;
 
 fn main() {
+    if let Some(code) = meshlayer_bench::handle_flight("a5_sdn") {
+        std::process::exit(code);
+    }
     let len = RunLength::from_env();
     let rps: f64 = std::env::args()
         .nth(1)

@@ -8,6 +8,9 @@ use meshlayer_bench::{
 use meshlayer_core::XLayerConfig;
 
 fn main() {
+    if let Some(code) = meshlayer_bench::handle_flight("fig4_latency") {
+        std::process::exit(code);
+    }
     let len = RunLength::from_env();
     let points: Vec<f64> = std::env::args()
         .skip(1)

@@ -44,7 +44,7 @@ pub use metrics::{EvProfile, LinkReport, PodReport, RunMetrics, TransportReport}
 pub use netplan::{Fabric, NetworkPlan};
 pub use provenance::{request_priority, Classifier, Priority};
 pub use sdn::SdnController;
-pub use sim::{SimConfig, SimSpec, Simulation, INGRESS_SERVICE};
+pub use sim::{FlightOutcome, SimConfig, SimSpec, Simulation, INGRESS_SERVICE};
 pub use xlayer::{
     install_host_tc, install_net_prio, install_priority_routes, XLayerConfig, HIGH_PRIO_SHARE,
 };

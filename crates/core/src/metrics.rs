@@ -84,6 +84,13 @@ pub struct RunMetrics {
     pub world: WorldStats,
     /// Events processed by the loop.
     pub events: u64,
+    /// Events ever pushed onto the queue (including unprocessed tail).
+    pub events_pushed: u64,
+    /// Events ever popped off the queue.
+    pub events_popped: u64,
+    /// Wall-clock nanoseconds the event loop ran. Host-dependent —
+    /// excluded from determinism checks and the flight-recorder digest.
+    pub wall_ns: u64,
     /// Simulated seconds.
     pub sim_seconds: f64,
     /// Spans collected.
@@ -189,6 +196,9 @@ impl RunMetrics {
             transport,
             world: sim.stats.clone(),
             events,
+            events_pushed: sim.queue.total_pushed(),
+            events_popped: sim.queue.total_popped(),
+            wall_ns: sim.wall_ns,
             sim_seconds: now.as_secs_f64(),
             spans: sim.tracer.spans().len(),
             spans_dropped: sim.tracer.dropped(),
@@ -218,6 +228,18 @@ impl RunMetrics {
             self.world.roots_started,
             self.world.roots_ok,
             self.world.roots_failed
+        ));
+        let wall_s = self.wall_ns as f64 / 1e9;
+        out.push_str(&format!(
+            "  queue: {} pushed, {} popped; loop {:.2}s wall ({:.0} events/sec)\n",
+            self.events_pushed,
+            self.events_popped,
+            wall_s,
+            if wall_s > 0.0 {
+                self.events as f64 / wall_s
+            } else {
+                0.0
+            }
         ));
         for c in &self.classes {
             out.push_str(&format!(

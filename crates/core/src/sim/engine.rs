@@ -33,11 +33,13 @@ impl Simulation {
         // Generous runaway guard: the densest expected runs are tens of
         // millions of events; a run hitting this bound is a driver bug.
         let max_events: u64 = 2_000_000_000;
+        let loop_wall = std::time::Instant::now();
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.end_at {
                 break;
             }
             let name = ev.name();
+            self.flight_observe(t, &ev);
             let wall = std::time::Instant::now();
             self.handle(ev, t);
             let spent = wall.elapsed().as_nanos() as u64;
@@ -47,6 +49,8 @@ impl Simulation {
             processed += 1;
             assert!(processed < max_events, "event-loop runaway");
         }
+        self.wall_ns = loop_wall.elapsed().as_nanos() as u64;
+        self.flight_finish();
         crate::metrics::RunMetrics::collect(self, processed)
     }
 

@@ -331,6 +331,10 @@ impl Simulation {
         resp.headers.set(HDR_B3_TRACE_ID, e.ctx.trace.0.to_string());
         let wire = resp.wire_size();
         let msg = self.alloc_msg();
+        if let Some(fr) = self.flight_rec() {
+            let rid = resp.headers.get(HDR_REQUEST_ID).unwrap_or_default();
+            fr.record_msg_bind(now, msg, e.reply_conn, e.rpc, e.attempt, 1, rid);
+        }
         self.msg_store.insert(
             msg,
             MsgInFlight::Response {

@@ -1,0 +1,274 @@
+//! Flight-recorder wiring for the simulation engine.
+//!
+//! This is the engine side of `meshlayer-flightrec`: it decides what a
+//! "state digest" means (which fields of each [`Ev`] are folded into
+//! the chained hash), attaches the recorder's packet taps and decision
+//! sinks across the stack, and drives the replay checker during a
+//! re-run.
+//!
+//! The digest deliberately covers only *simulation* state — event
+//! sequence, simulated time, event kind, and the deterministic payload
+//! fields of each event. Wall-clock quantities (handler profiling,
+//! run duration) are excluded, so two runs of the same `(spec, seed)`
+//! produce byte-identical event streams regardless of host load.
+
+use super::{Ev, Simulation};
+use meshlayer_flightrec::digest::{fold_bytes, fold_u64, FNV_OFFSET};
+use meshlayer_flightrec::{
+    CaptureCounts, EventRecord, FlightRecorder, MetaInfo, ReplayChecker, ReplayReport,
+    FORMAT_VERSION,
+};
+use meshlayer_simcore::SimTime;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+impl Ev {
+    /// Stable wire discriminant for the capture format.
+    ///
+    /// These codes are part of the on-disk format: append new variants,
+    /// never renumber existing ones.
+    pub(crate) fn code(&self) -> u8 {
+        match self {
+            Ev::Arrival { .. } => 0,
+            Ev::LinkTx { .. } => 1,
+            Ev::LinkKick { .. } => 2,
+            Ev::PktArrive { .. } => 3,
+            Ev::ConnTimer { .. } => 4,
+            Ev::SendMsg { .. } => 5,
+            Ev::ExecStart { .. } => 6,
+            Ev::ComputeDone { .. } => 7,
+            Ev::AttemptResponse { .. } => 8,
+            Ev::PerTryTimeout { .. } => 9,
+            Ev::RpcTimeout { .. } => 10,
+            Ev::RetryFire { .. } => 11,
+            Ev::HedgeFire { .. } => 12,
+            Ev::SdnTick => 13,
+            Ev::ControlTick => 14,
+            Ev::TelemetryTick => 15,
+        }
+    }
+}
+
+/// Fold one event pop into the chained digest.
+///
+/// Covers (seq, time, kind) plus every deterministic payload field of
+/// the variant, so a divergence in *any* of them — a different packet
+/// taking a different path, a retry firing for a different rpc —
+/// changes this and every later digest.
+fn fold_event(state: u64, seq: u64, t: SimTime, ev: &Ev) -> u64 {
+    let mut d = fold_u64(state, seq);
+    d = fold_u64(d, t.as_nanos());
+    d = fold_bytes(d, &[ev.code()]);
+    match ev {
+        Ev::Arrival { gen } => fold_u64(d, *gen as u64),
+        Ev::LinkTx { link } | Ev::LinkKick { link } => fold_u64(d, link.0 as u64),
+        Ev::PktArrive { pkt, node } => {
+            d = fold_u64(d, pkt.id);
+            d = fold_u64(d, pkt.conn);
+            d = fold_u64(d, pkt.seq);
+            d = fold_u64(d, pkt.ack_seq);
+            d = fold_u64(d, pkt.payload as u64);
+            d = fold_bytes(d, &[pkt.dscp, pkt.is_ack() as u8]);
+            fold_u64(d, node.0 as u64)
+        }
+        Ev::ConnTimer { conn, dir, gen } => {
+            d = fold_u64(d, *conn);
+            d = fold_bytes(d, &[*dir]);
+            fold_u64(d, *gen)
+        }
+        Ev::SendMsg {
+            conn,
+            dir,
+            msg,
+            bytes,
+        } => {
+            d = fold_u64(d, *conn);
+            d = fold_bytes(d, &[*dir]);
+            d = fold_u64(d, *msg);
+            fold_u64(d, *bytes)
+        }
+        Ev::ExecStart { exec } => fold_u64(d, *exec),
+        Ev::ComputeDone { pod, token } => {
+            d = fold_u64(d, pod.0 as u64);
+            fold_u64(d, *token)
+        }
+        Ev::AttemptResponse {
+            rpc,
+            attempt,
+            status,
+        } => {
+            d = fold_u64(d, *rpc);
+            d = fold_u64(d, *attempt as u64);
+            fold_u64(d, status.0 as u64)
+        }
+        Ev::PerTryTimeout { rpc, attempt } | Ev::HedgeFire { rpc, attempt } => {
+            d = fold_u64(d, *rpc);
+            fold_u64(d, *attempt as u64)
+        }
+        Ev::RpcTimeout { rpc } | Ev::RetryFire { rpc } => fold_u64(d, *rpc),
+        Ev::SdnTick | Ev::ControlTick | Ev::TelemetryTick => d,
+    }
+}
+
+/// What the flight recorder concluded when the run finished.
+#[derive(Debug)]
+pub enum FlightOutcome {
+    /// A capture completed; counters of what was written.
+    Recorded(CaptureCounts),
+    /// A replay comparison completed (clean or divergent — see
+    /// [`ReplayReport::ok`]).
+    Replayed(ReplayReport),
+    /// Capture I/O failed; the log on disk is incomplete.
+    Failed(String),
+}
+
+pub(crate) enum FlightMode {
+    Record(Arc<FlightRecorder>),
+    Replay(Box<ReplayChecker>),
+}
+
+/// Live per-run recorder/replayer state owned by the [`Simulation`].
+pub(crate) struct FlightState {
+    pub(crate) mode: FlightMode,
+    pub(crate) seq: u64,
+    pub(crate) digest: u64,
+}
+
+impl Simulation {
+    /// Attach a flight recorder: every engine event, every packet on
+    /// every link, and every sidecar decision will be captured to
+    /// `path`. Call before [`Simulation::run`].
+    pub fn record_to(&mut self, name: &str, path: &Path) -> io::Result<()> {
+        let recorder = FlightRecorder::create(path)?;
+        recorder.record_meta(&self.flight_meta(name));
+        let tap: Arc<dyn meshlayer_netsim::PacketTap> = recorder.clone();
+        let link_ids: Vec<_> = self.fabric.topology.links().map(|l| l.id()).collect();
+        for id in link_ids {
+            self.fabric.topology.link_mut(id).set_tap(tap.clone());
+        }
+        for sc in self.sidecars.values_mut() {
+            sc.set_decision_sink(recorder.clone());
+        }
+        self.flight = Some(FlightState {
+            mode: FlightMode::Record(recorder),
+            seq: 0,
+            digest: FNV_OFFSET,
+        });
+        Ok(())
+    }
+
+    /// Attach a replay checker reading the capture at `path`. The log's
+    /// recorded seed and duration must match this simulation's spec;
+    /// replaying a log against the wrong configuration is refused.
+    /// Call before [`Simulation::run`].
+    pub fn replay_from(&mut self, path: &Path) -> io::Result<()> {
+        let checker = ReplayChecker::open(path)?;
+        let meta = checker.meta();
+        let seed = self.spec.config.seed;
+        let duration_ns = self.spec.config.duration.as_nanos();
+        if meta.seed != seed || meta.duration_ns != duration_ns {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "log records seed={} duration={}ns but this run has seed={} duration={}ns",
+                    meta.seed, meta.duration_ns, seed, duration_ns
+                ),
+            ));
+        }
+        self.flight = Some(FlightState {
+            mode: FlightMode::Replay(Box::new(checker)),
+            seq: 0,
+            digest: FNV_OFFSET,
+        });
+        Ok(())
+    }
+
+    /// The run identity frame for a capture of this simulation.
+    fn flight_meta(&self, name: &str) -> MetaInfo {
+        let links = self
+            .fabric
+            .topology
+            .links()
+            .map(|l| {
+                (
+                    l.id().0,
+                    format!(
+                        "{}->{}",
+                        self.fabric.topology.node_name(l.from()),
+                        self.fabric.topology.node_name(l.to())
+                    ),
+                )
+            })
+            .collect();
+        MetaInfo {
+            format: FORMAT_VERSION,
+            name: name.to_string(),
+            seed: self.spec.config.seed,
+            duration_ns: self.spec.config.duration.as_nanos(),
+            warmup_ns: self.spec.config.warmup.as_nanos(),
+            links,
+        }
+    }
+
+    /// The active recorder, when capturing (None while replaying).
+    ///
+    /// Used by the rpc/exec paths to emit ingress, completion and
+    /// message-binding records outside the sidecar decision sink.
+    pub(crate) fn flight_rec(&self) -> Option<Arc<FlightRecorder>> {
+        match &self.flight {
+            Some(FlightState {
+                mode: FlightMode::Record(r),
+                ..
+            }) => Some(r.clone()),
+            _ => None,
+        }
+    }
+
+    /// Engine hook: fold one popped event into the digest and either
+    /// record it or check it against the recording.
+    pub(crate) fn flight_observe(&mut self, t: SimTime, ev: &Ev) {
+        let Some(fl) = &mut self.flight else {
+            return;
+        };
+        let seq = fl.seq;
+        fl.seq += 1;
+        fl.digest = fold_event(fl.digest, seq, t, ev);
+        let rec = EventRecord {
+            seq,
+            t_ns: t.as_nanos(),
+            kind: ev.code(),
+            digest: fl.digest,
+        };
+        match &mut fl.mode {
+            FlightMode::Record(r) => r.record_event(rec.seq, rec.t_ns, rec.kind, rec.digest),
+            FlightMode::Replay(c) => c.check_event(rec),
+        }
+    }
+
+    /// Engine hook: the run is over — close the capture or produce the
+    /// replay report. The outcome is retrievable once via
+    /// [`Simulation::take_flight_outcome`].
+    pub(crate) fn flight_finish(&mut self) {
+        let Some(fl) = self.flight.take() else {
+            return;
+        };
+        let outcome = match fl.mode {
+            FlightMode::Record(r) => {
+                r.record_end(fl.seq, fl.digest);
+                match r.finish() {
+                    Ok(counts) => FlightOutcome::Recorded(counts),
+                    Err(e) => FlightOutcome::Failed(e.to_string()),
+                }
+            }
+            FlightMode::Replay(c) => FlightOutcome::Replayed(c.finish(fl.seq, fl.digest)),
+        };
+        self.flight_outcome = Some(outcome);
+    }
+
+    /// Take the recorder/replay outcome of the last [`Simulation::run`],
+    /// if a recorder or replayer was attached.
+    pub fn take_flight_outcome(&mut self) -> Option<FlightOutcome> {
+        self.flight_outcome.take()
+    }
+}

@@ -19,7 +19,10 @@
 
 mod engine;
 mod exec;
+mod flight;
 mod rpc;
+
+pub use flight::FlightOutcome;
 
 use crate::netplan::{Fabric, NetworkPlan};
 use crate::provenance::{Classifier, Priority};
@@ -396,6 +399,12 @@ pub struct Simulation {
     pub(crate) rng: SimRng,
     pub(crate) stats: WorldStats,
     pub(crate) end_at: SimTime,
+    /// Flight-recorder capture/replay state, when attached.
+    pub(crate) flight: Option<flight::FlightState>,
+    /// Outcome of the last run's capture/replay, until taken.
+    pub(crate) flight_outcome: Option<FlightOutcome>,
+    /// Wall-clock nanoseconds the last `run()` spent in the event loop.
+    pub(crate) wall_ns: u64,
     next_conn: u64,
     next_msg: u64,
     next_rpc: u64,
@@ -537,6 +546,9 @@ impl Simulation {
             rng: rng.split("world"),
             stats: WorldStats::default(),
             end_at,
+            flight: None,
+            flight_outcome: None,
+            wall_ns: 0,
             next_conn: 1,
             next_msg: 1,
             next_rpc: 1,

@@ -36,6 +36,11 @@ impl Simulation {
             .get(HDR_REQUEST_ID)
             .expect("minted by on_inbound")
             .to_string();
+        if let Some(fr) = self.flight_rec() {
+            let sc = self.sidecars.get(&ingress).expect("ingress sidecar");
+            let trace = sc.inbound_ctx(&request_id).map(|c| c.trace.0).unwrap_or(0);
+            fr.record_ingress(sc.name(), now, &request_id, trace);
+        }
         self.stats.roots_started += 1;
         self.start_rpc(
             ingress,
@@ -71,7 +76,7 @@ impl Simulation {
             let sdn_lb = self.spec.xlayer.sdn_lb;
             let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
             // §4.3 step 2: copy priority/trace onto the child request.
-            let annotated = sc.annotate_outbound(&mut req);
+            let annotated = sc.annotate_outbound(&mut req, now);
             // If the caller's inbound request is sampled, this RPC gets a
             // client span (recorded at completion) linking the caller's
             // server span to the callee's.
@@ -186,6 +191,10 @@ impl Simulation {
         let (conn, dir) = self.conn_for(caller, dst, priority);
         let msg = self.alloc_msg();
         let req = self.rpcs.get(&rpc_id).expect("rpc exists").req.clone();
+        if let Some(fr) = self.flight_rec() {
+            let rid = req.headers.get(HDR_REQUEST_ID).unwrap_or_default();
+            fr.record_msg_bind(now, msg, conn, rpc_id, idx, 0, rid);
+        }
         self.msg_store.insert(
             msg,
             MsgInFlight::Request {
@@ -466,6 +475,16 @@ impl Simulation {
                 intended_at,
                 request_id,
             } => {
+                if let Some(fr) = self.flight_rec() {
+                    let sc = self.sidecars.get(&caller).expect("ingress sidecar");
+                    fr.record_root_done(
+                        sc.name(),
+                        now,
+                        &request_id,
+                        status,
+                        now.saturating_since(intended_at).as_nanos(),
+                    );
+                }
                 if status.is_success() {
                     self.stats.roots_ok += 1;
                     self.recorder.record_ok(&class, intended_at, now);

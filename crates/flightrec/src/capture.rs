@@ -1,0 +1,334 @@
+//! The live capture side: a thread-safe [`FlightRecorder`] that the
+//! simulation wires into its engine loop (event digests), its links
+//! (packet taps) and its sidecars (decision sink).
+//!
+//! The recorder serialises everything through one internal lock into a
+//! buffered append-only [`LogWriter`]. I/O errors never panic the hot
+//! path: the first error is latched and surfaced by
+//! [`FlightRecorder::finish`].
+
+use crate::log::LogWriter;
+use crate::record::{
+    DecisionKind, DecisionRecord, EndRecord, EventRecord, MetaInfo, MsgBindRecord, PacketRecord,
+    Record, NO_POD,
+};
+use meshlayer_http::StatusCode;
+use meshlayer_mesh::{Decision, DecisionSink};
+use meshlayer_netsim::{PacketKind, PacketTap, TapEvent};
+use meshlayer_simcore::SimTime;
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Which packets the taps should keep.
+#[derive(Clone, Debug, Default)]
+pub struct CaptureFilter {
+    /// Record pure acks? Default `false`: acks roughly double log volume
+    /// and the data-segment records already pin down queue behaviour.
+    pub include_acks: bool,
+    /// Restrict capture to these link ids (`None` = every tapped link).
+    pub links: Option<Vec<u32>>,
+}
+
+impl CaptureFilter {
+    fn admits(&self, link: u32, kind: PacketKind) -> bool {
+        if !self.include_acks && kind == PacketKind::Ack {
+            return false;
+        }
+        match &self.links {
+            Some(ids) => ids.contains(&link),
+            None => true,
+        }
+    }
+}
+
+/// Counters of what a capture wrote, returned by [`FlightRecorder::finish`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CaptureCounts {
+    /// Engine event records written.
+    pub events: u64,
+    /// Packet records written (post-filter).
+    pub packets: u64,
+    /// Decision records written.
+    pub decisions: u64,
+    /// Message-bind records written.
+    pub binds: u64,
+}
+
+struct Inner {
+    writer: Option<LogWriter<BufWriter<File>>>,
+    filter: CaptureFilter,
+    error: Option<io::Error>,
+    counts: CaptureCounts,
+}
+
+impl Inner {
+    fn write(&mut self, rec: &Record) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = &mut self.writer {
+            if let Err(e) = w.write(rec) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// A live flight-recorder capture writing one log file.
+///
+/// One instance serves all three streams (events, packets, decisions)
+/// so the resulting log is a single totally-ordered file that offline
+/// tools can merge-sort by simulated time without multi-file joins.
+pub struct FlightRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// Create a recorder writing to `path` (parent dirs are created).
+    pub fn create(path: &Path) -> io::Result<Arc<FlightRecorder>> {
+        Ok(Arc::new(FlightRecorder {
+            inner: Mutex::new(Inner {
+                writer: Some(LogWriter::create(path)?),
+                filter: CaptureFilter::default(),
+                error: None,
+                counts: CaptureCounts::default(),
+            }),
+        }))
+    }
+
+    /// Replace the packet filter (call before the run starts).
+    pub fn set_filter(&self, filter: CaptureFilter) {
+        self.inner.lock().filter = filter;
+    }
+
+    /// Write the run-identity frame. Must be the first record written.
+    pub fn record_meta(&self, meta: &MetaInfo) {
+        self.inner.lock().write(&Record::Meta(meta.clone()));
+    }
+
+    /// Record one engine event pop with its running digest.
+    pub fn record_event(&self, seq: u64, t_ns: u64, kind: u8, digest: u64) {
+        let mut g = self.inner.lock();
+        g.write(&Record::Event(EventRecord {
+            seq,
+            t_ns,
+            kind,
+            digest,
+        }));
+        g.counts.events += 1;
+    }
+
+    /// Record a message-id ↔ RPC-attempt binding.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_msg_bind(
+        &self,
+        now: SimTime,
+        msg: u64,
+        conn: u64,
+        rpc: u64,
+        attempt: u32,
+        dir: u8,
+        request_id: &str,
+    ) {
+        let mut g = self.inner.lock();
+        g.write(&Record::MsgBind(MsgBindRecord {
+            t_ns: now.as_nanos(),
+            msg,
+            conn,
+            rpc,
+            attempt,
+            dir,
+            request_id: request_id.to_string(),
+        }));
+        g.counts.binds += 1;
+    }
+
+    /// Record a request entering the mesh (request-id minted at ingress).
+    pub fn record_ingress(&self, pod: &str, now: SimTime, request_id: &str, trace: u64) {
+        self.push_decision(DecisionRecord {
+            t_ns: now.as_nanos(),
+            kind: DecisionKind::Ingress.code(),
+            trace,
+            chosen: NO_POD,
+            pod: pod.to_string(),
+            request_id: request_id.to_string(),
+            cluster: String::new(),
+            detail: String::new(),
+        });
+    }
+
+    /// Record a root request completing with its final status.
+    pub fn record_root_done(
+        &self,
+        pod: &str,
+        now: SimTime,
+        request_id: &str,
+        status: StatusCode,
+        latency_ns: u64,
+    ) {
+        self.push_decision(DecisionRecord {
+            t_ns: now.as_nanos(),
+            kind: DecisionKind::RootDone.code(),
+            trace: 0,
+            chosen: NO_POD,
+            pod: pod.to_string(),
+            request_id: request_id.to_string(),
+            cluster: String::new(),
+            detail: format!("status={} latency_ns={}", status.0, latency_ns),
+        });
+    }
+
+    /// Write the final totals frame.
+    pub fn record_end(&self, events: u64, digest: u64) {
+        self.inner
+            .lock()
+            .write(&Record::End(EndRecord { events, digest }));
+    }
+
+    /// Flush the log. Returns the write counters, or the first I/O error
+    /// encountered anywhere during capture.
+    pub fn finish(&self) -> io::Result<CaptureCounts> {
+        let mut g = self.inner.lock();
+        if let Some(e) = g.error.take() {
+            return Err(e);
+        }
+        if let Some(w) = g.writer.take() {
+            w.finish()?;
+        }
+        Ok(g.counts)
+    }
+
+    fn push_decision(&self, rec: DecisionRecord) {
+        let mut g = self.inner.lock();
+        g.write(&Record::Decision(rec));
+        g.counts.decisions += 1;
+    }
+}
+
+impl PacketTap for FlightRecorder {
+    fn on_packet(&self, ev: TapEvent<'_>) {
+        let mut g = self.inner.lock();
+        if !g.filter.admits(ev.link.0, ev.pkt.kind) {
+            return;
+        }
+        let rec = PacketRecord {
+            t_ns: ev.now.as_nanos(),
+            link: ev.link.0,
+            op: ev.op.code(),
+            pkt: ev.pkt.id,
+            conn: ev.pkt.conn,
+            msg: ev.pkt.msg,
+            band: ev.band.min(u8::MAX as usize) as u8,
+            dscp: ev.pkt.dscp,
+            kind: match ev.pkt.kind {
+                PacketKind::Data => 0,
+                PacketKind::Ack => 1,
+            },
+            wire: ev.pkt.wire_size(),
+            qlen: ev.queue_pkts.min(u32::MAX as usize) as u32,
+            qbytes: ev.queue_bytes,
+        };
+        g.write(&Record::Packet(rec));
+        g.counts.packets += 1;
+    }
+}
+
+impl DecisionSink for FlightRecorder {
+    fn on_decision(&self, pod: &str, now: SimTime, decision: &Decision<'_>) {
+        let t_ns = now.as_nanos();
+        let pod = pod.to_string();
+        let rec = match decision {
+            Decision::Propagate {
+                request_id,
+                trace,
+                priority,
+            } => DecisionRecord {
+                t_ns,
+                kind: DecisionKind::Propagate.code(),
+                trace: *trace,
+                chosen: NO_POD,
+                pod,
+                request_id: request_id.to_string(),
+                cluster: String::new(),
+                detail: match priority {
+                    Some(p) => format!("priority={p}"),
+                    None => String::new(),
+                },
+            },
+            Decision::Route {
+                request_id,
+                trace,
+                cluster,
+                rule,
+                pod: chosen,
+                candidates,
+                healthy,
+                lb,
+                breaker,
+            } => DecisionRecord {
+                t_ns,
+                kind: DecisionKind::Route.code(),
+                trace: *trace,
+                chosen: chosen.0,
+                pod,
+                request_id: request_id.to_string(),
+                cluster: cluster.to_string(),
+                detail: format!(
+                    "rule={rule} lb={lb} breaker={breaker} candidates={candidates} healthy={healthy}"
+                ),
+            },
+            Decision::FailFast {
+                request_id,
+                trace,
+                cluster,
+                status,
+                reason,
+            } => DecisionRecord {
+                t_ns,
+                kind: DecisionKind::FailFast.code(),
+                trace: *trace,
+                chosen: NO_POD,
+                pod,
+                request_id: request_id.to_string(),
+                cluster: cluster.unwrap_or("").to_string(),
+                detail: format!("status={} reason={reason}", status.0),
+            },
+            Decision::Retry {
+                request_id,
+                cluster,
+                attempt,
+                failure,
+                backoff_ns,
+            } => DecisionRecord {
+                t_ns,
+                kind: DecisionKind::Retry.code(),
+                trace: 0,
+                chosen: NO_POD,
+                pod,
+                request_id: request_id.to_string(),
+                cluster: cluster.to_string(),
+                detail: format!("attempt={attempt} failure={failure} backoff_ns={backoff_ns}"),
+            },
+            Decision::RetryDenied {
+                request_id,
+                cluster,
+                attempt,
+                failure,
+                reason,
+            } => DecisionRecord {
+                t_ns,
+                kind: DecisionKind::RetryDenied.code(),
+                trace: 0,
+                chosen: NO_POD,
+                pod,
+                request_id: request_id.to_string(),
+                cluster: cluster.to_string(),
+                detail: format!("attempt={attempt} failure={failure} reason={reason}"),
+            },
+        };
+        self.push_decision(rec);
+    }
+}

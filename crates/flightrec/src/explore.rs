@@ -1,0 +1,288 @@
+//! Offline exploration of a capture: load a whole log into memory and
+//! dump a request's full life — sidecar decisions, message bindings and
+//! per-packet queue operations — merged into one timeline ordered by
+//! simulated time.
+//!
+//! The join works because packets carry the transport message id and
+//! [`MsgBindRecord`]s bind message ids to `x-request-id`s: given a
+//! request id we collect its message ids, then every packet record
+//! whose `msg` is in that set belongs to the request.
+
+use crate::log::{FrameError, LogReader};
+use crate::record::{
+    DecisionKind, DecisionRecord, EndRecord, EventRecord, MetaInfo, MsgBindRecord, PacketRecord,
+    Record, NO_POD,
+};
+use meshlayer_netsim::TapOp;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A fully-loaded capture, records split per stream.
+#[derive(Debug, Default)]
+pub struct FlightLog {
+    /// Run identity, if the log carried one.
+    pub meta: Option<MetaInfo>,
+    /// Engine event records in pop order.
+    pub events: Vec<EventRecord>,
+    /// Packet queue operations in capture order.
+    pub packets: Vec<PacketRecord>,
+    /// Sidecar decisions in capture order.
+    pub decisions: Vec<DecisionRecord>,
+    /// Message-id bindings in capture order.
+    pub binds: Vec<MsgBindRecord>,
+    /// Final totals frame, if the capture completed.
+    pub end: Option<EndRecord>,
+}
+
+impl FlightLog {
+    /// Read an entire log file into memory.
+    pub fn load(path: &Path) -> Result<FlightLog, FrameError> {
+        let mut reader = LogReader::open(path)?;
+        let mut log = FlightLog::default();
+        while let Some((_, rec)) = reader.next()? {
+            match rec {
+                Record::Meta(m) => log.meta = Some(m),
+                Record::Event(e) => log.events.push(e),
+                Record::Packet(p) => log.packets.push(p),
+                Record::Decision(d) => log.decisions.push(d),
+                Record::MsgBind(b) => log.binds.push(b),
+                Record::End(e) => log.end = Some(e),
+            }
+        }
+        Ok(log)
+    }
+
+    /// Human label for a link id, from the meta table.
+    pub fn link_name(&self, link: u32) -> String {
+        self.meta
+            .as_ref()
+            .and_then(|m| m.links.iter().find(|(id, _)| *id == link))
+            .map(|(_, name)| name.clone())
+            .unwrap_or_else(|| format!("link{link}"))
+    }
+
+    /// Distinct request ids seen in the decision and bind streams,
+    /// in order of first appearance.
+    pub fn request_ids(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for id in self
+            .decisions
+            .iter()
+            .map(|d| d.request_id.as_str())
+            .chain(self.binds.iter().map(|b| b.request_id.as_str()))
+        {
+            if !id.is_empty() && seen.insert(id.to_string()) {
+                out.push(id.to_string());
+            }
+        }
+        out
+    }
+
+    /// One-paragraph capture summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        if let Some(m) = &self.meta {
+            let _ = writeln!(
+                out,
+                "capture: scenario={} seed={} duration={:.3}s warmup={:.3}s links={}",
+                m.name,
+                m.seed,
+                m.duration_ns as f64 / 1e9,
+                m.warmup_ns as f64 / 1e9,
+                m.links.len()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "records: {} events, {} packets, {} decisions, {} msg-binds",
+            self.events.len(),
+            self.packets.len(),
+            self.decisions.len(),
+            self.binds.len()
+        );
+        match &self.end {
+            Some(e) => {
+                let _ = writeln!(
+                    out,
+                    "end: {} events total, final digest {:016x}",
+                    e.events, e.digest
+                );
+            }
+            None => {
+                let _ = writeln!(out, "end: MISSING (capture did not complete cleanly)");
+            }
+        }
+        out
+    }
+
+    /// Merge every record correlated with `request_id` into a timeline.
+    ///
+    /// Returns `None` when the request id appears nowhere in the log.
+    pub fn dump_request(&self, request_id: &str) -> Option<String> {
+        let msgs: BTreeSet<u64> = self
+            .binds
+            .iter()
+            .filter(|b| b.request_id == request_id)
+            .map(|b| b.msg)
+            .collect();
+        // (t_ns, stream-rank, line): rank keeps decision lines ahead of
+        // the packets they caused when times tie.
+        let mut lines: Vec<(u64, u8, String)> = Vec::new();
+        for d in self.decisions.iter().filter(|d| d.request_id == request_id) {
+            lines.push((d.t_ns, 0, self.fmt_decision(d)));
+        }
+        for b in self.binds.iter().filter(|b| b.request_id == request_id) {
+            let dir = if b.dir == 0 { "request" } else { "response" };
+            lines.push((
+                b.t_ns,
+                1,
+                format!(
+                    "msg   {} msg={} conn={} rpc={} attempt={}",
+                    dir, b.msg, b.conn, b.rpc, b.attempt
+                ),
+            ));
+        }
+        for p in self.packets.iter().filter(|p| msgs.contains(&p.msg)) {
+            let op = TapOp::from_code(p.op).map(|o| o.label()).unwrap_or("?");
+            lines.push((
+                p.t_ns,
+                2,
+                format!(
+                    "pkt   {:<4} {} pkt={} band={} dscp={} wire={}B queue={}p/{}B",
+                    op,
+                    self.link_name(p.link),
+                    p.pkt,
+                    p.band,
+                    p.dscp,
+                    p.wire,
+                    p.qlen,
+                    p.qbytes
+                ),
+            ));
+        }
+        if lines.is_empty() {
+            return None;
+        }
+        lines.sort_by_key(|l| (l.0, l.1));
+        let mut out = String::new();
+        let _ = writeln!(out, "request {request_id}: {} records", lines.len());
+        for (t_ns, _, line) in lines {
+            let _ = writeln!(out, "  t={:<14.6} {}", t_ns as f64 / 1e9, line);
+        }
+        Some(out)
+    }
+
+    fn fmt_decision(&self, d: &DecisionRecord) -> String {
+        let kind = DecisionKind::from_code(d.kind)
+            .map(|k| k.label())
+            .unwrap_or("?");
+        let mut line = format!("mesh  {:<12} pod={}", kind, d.pod);
+        if !d.cluster.is_empty() {
+            let _ = write!(line, " cluster={}", d.cluster);
+        }
+        if d.chosen != NO_POD {
+            let _ = write!(line, " chose=pod{}", d.chosen);
+        }
+        if d.trace != 0 {
+            let _ = write!(line, " trace={:x}", d.trace);
+        }
+        if !d.detail.is_empty() {
+            let _ = write!(line, " {}", d.detail);
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogWriter;
+    use crate::record::FORMAT_VERSION;
+
+    #[test]
+    fn load_and_dump_request_timeline() {
+        let path = std::env::temp_dir()
+            .join("flightrec-explore")
+            .join("run.flight");
+        let mut w = LogWriter::create(&path).unwrap();
+        w.write(&Record::Meta(MetaInfo {
+            format: FORMAT_VERSION,
+            name: "test".into(),
+            seed: 9,
+            duration_ns: 1_000_000_000,
+            warmup_ns: 0,
+            links: vec![(3, "client->frontend".into())],
+        }))
+        .unwrap();
+        w.write(&Record::Decision(DecisionRecord {
+            t_ns: 100,
+            kind: DecisionKind::Ingress.code(),
+            trace: 0xab,
+            chosen: NO_POD,
+            pod: "frontend-0".into(),
+            request_id: "rid-1".into(),
+            cluster: String::new(),
+            detail: String::new(),
+        }))
+        .unwrap();
+        w.write(&Record::MsgBind(MsgBindRecord {
+            t_ns: 150,
+            msg: 42,
+            conn: 7,
+            rpc: 1,
+            attempt: 0,
+            dir: 0,
+            request_id: "rid-1".into(),
+        }))
+        .unwrap();
+        w.write(&Record::Packet(PacketRecord {
+            t_ns: 200,
+            link: 3,
+            op: 0,
+            pkt: 5,
+            conn: 7,
+            msg: 42,
+            band: 0,
+            dscp: 46,
+            kind: 0,
+            wire: 1514,
+            qlen: 1,
+            qbytes: 1514,
+        }))
+        .unwrap();
+        // A packet for a different message must not appear in the dump.
+        w.write(&Record::Packet(PacketRecord {
+            t_ns: 210,
+            link: 3,
+            op: 0,
+            pkt: 6,
+            conn: 8,
+            msg: 99,
+            band: 0,
+            dscp: 8,
+            kind: 0,
+            wire: 400,
+            qlen: 2,
+            qbytes: 1914,
+        }))
+        .unwrap();
+        w.write(&Record::End(EndRecord {
+            events: 0,
+            digest: 0,
+        }))
+        .unwrap();
+        w.finish().unwrap();
+
+        let log = FlightLog::load(&path).unwrap();
+        assert_eq!(log.request_ids(), vec!["rid-1".to_string()]);
+        assert!(log.summary().contains("1 decisions"));
+        let dump = log.dump_request("rid-1").expect("request found");
+        assert!(dump.contains("ingress"), "{dump}");
+        assert!(dump.contains("client->frontend"), "{dump}");
+        assert!(dump.contains("pkt=5"), "{dump}");
+        assert!(!dump.contains("pkt=6"), "{dump}");
+        assert!(log.dump_request("nope").is_none());
+    }
+}

@@ -28,6 +28,19 @@ pub enum LbPolicy {
     RingHash,
 }
 
+impl LbPolicy {
+    /// Stable human-readable name (decision logs, capture formats).
+    pub fn name(self) -> &'static str {
+        match self {
+            LbPolicy::RoundRobin => "round-robin",
+            LbPolicy::Random => "random",
+            LbPolicy::LeastRequest => "least-request",
+            LbPolicy::PeakEwma => "peak-ewma",
+            LbPolicy::RingHash => "ring-hash",
+        }
+    }
+}
+
 /// Per-endpoint signals the balancer needs from the caller.
 pub struct PickCtx<'a> {
     /// Outstanding (in-flight) requests per endpoint, from the sidecar.

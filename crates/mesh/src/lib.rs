@@ -36,5 +36,5 @@ pub use resilience::{
     AttemptFailure, BreakerConfig, BreakerState, CircuitBreaker, OutlierConfig, OutlierDetector,
     RetryBudget, RetryPolicy,
 };
-pub use sidecar::{InboundCtx, RouteOutcome, Sidecar, SidecarStats};
+pub use sidecar::{Decision, DecisionSink, InboundCtx, RouteOutcome, Sidecar, SidecarStats};
 pub use tracing::{Sampling, Span, SpanId, SpanKind, TraceId, TraceTree, Tracer};

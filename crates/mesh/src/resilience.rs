@@ -28,6 +28,17 @@ pub enum AttemptFailure {
     Reset,
 }
 
+impl AttemptFailure {
+    /// Stable human-readable name (decision logs, capture formats).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttemptFailure::Status(_) => "status",
+            AttemptFailure::Timeout => "timeout",
+            AttemptFailure::Reset => "reset",
+        }
+    }
+}
+
 /// Retry configuration (per route).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RetryPolicy {
@@ -180,6 +191,17 @@ pub enum BreakerState {
     Open,
     /// One probe request allowed through.
     HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable human-readable name (decision logs, capture formats).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
 }
 
 /// A three-state circuit breaker plus pending-request limiter.

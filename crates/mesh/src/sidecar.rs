@@ -29,6 +29,7 @@ use meshlayer_http::{
 use meshlayer_simcore::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Counters a sidecar exposes to the control plane.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -103,6 +104,94 @@ pub enum RouteOutcome {
     FailFast(StatusCode),
 }
 
+/// One data-plane choice a sidecar made, with the inputs that drove it —
+/// reported to an attached [`DecisionSink`] (e.g. the flight recorder's
+/// structured decision log). All string fields are borrowed from the
+/// request being processed; sinks that need to keep them must copy.
+#[derive(Debug)]
+pub enum Decision<'a> {
+    /// Provenance was copied onto an outbound child request correlated via
+    /// `x-request-id` (the paper's §4.3 step 2).
+    Propagate {
+        /// The correlating `x-request-id`.
+        request_id: &'a str,
+        /// Trace id stamped onto the child.
+        trace: u64,
+        /// Priority header value propagated, if the inbound carried one.
+        priority: Option<&'a str>,
+    },
+    /// An outbound request was routed to a replica.
+    Route {
+        /// The request's `x-request-id` (empty if absent).
+        request_id: &'a str,
+        /// Trace id from the request headers (0 if absent).
+        trace: u64,
+        /// Resolved upstream cluster.
+        cluster: &'a str,
+        /// The route rule that matched (rendered authority/prefix).
+        rule: String,
+        /// Replica chosen by the load balancer.
+        pod: PodId,
+        /// Endpoints discovery offered.
+        candidates: usize,
+        /// Endpoints left after outlier-ejection filtering.
+        healthy: usize,
+        /// Load-balancing policy that picked.
+        lb: &'static str,
+        /// Circuit-breaker state at admit time.
+        breaker: &'static str,
+    },
+    /// An outbound request was failed locally.
+    FailFast {
+        /// The request's `x-request-id` (empty if absent).
+        request_id: &'a str,
+        /// Trace id from the request headers (0 if absent).
+        trace: u64,
+        /// Resolved cluster, when routing got that far.
+        cluster: Option<&'a str>,
+        /// Status returned to the caller.
+        status: StatusCode,
+        /// Which check failed (`no-route`, `no-endpoints`, `breaker-open`,
+        /// `no-healthy`, ...).
+        reason: &'static str,
+    },
+    /// A failed attempt was granted a retry.
+    Retry {
+        /// The request's `x-request-id` (empty if absent).
+        request_id: &'a str,
+        /// Upstream cluster being retried.
+        cluster: &'a str,
+        /// 0-based index of the attempt that failed.
+        attempt: u32,
+        /// Failure classification that triggered the retry check.
+        failure: &'static str,
+        /// Backoff granted before the retry fires, nanoseconds.
+        backoff_ns: u64,
+    },
+    /// A failed attempt was denied a retry.
+    RetryDenied {
+        /// The request's `x-request-id` (empty if absent).
+        request_id: &'a str,
+        /// Upstream cluster.
+        cluster: &'a str,
+        /// 0-based index of the attempt that failed.
+        attempt: u32,
+        /// Failure classification.
+        failure: &'static str,
+        /// Why the retry was denied (`policy` or `budget`).
+        reason: &'static str,
+    },
+}
+
+/// Observer for sidecar [`Decision`]s. Implementations must be
+/// `Send + Sync` (sidecars travel with the simulation across threads) and
+/// must not influence behaviour — sinks see decisions, they don't make
+/// them.
+pub trait DecisionSink: Send + Sync {
+    /// One decision, made by the sidecar fronting `pod` at `now`.
+    fn on_decision(&self, pod: &str, now: SimTime, decision: &Decision<'_>);
+}
+
 /// The sidecar proxy decision engine (see module docs).
 pub struct Sidecar {
     name: String,
@@ -116,6 +205,8 @@ pub struct Sidecar {
     next_span: u64,
     /// Identity stamped into trace spans.
     service: String,
+    /// Structured decision log, if attached (flight recorder).
+    sink: Option<Arc<dyn DecisionSink>>,
 }
 
 impl Sidecar {
@@ -143,7 +234,14 @@ impl Sidecar {
             next_span: span_base | 1,
             service: service.into(),
             name,
+            sink: None,
         }
+    }
+
+    /// Attach a structured decision log. Sinks are passive observers; the
+    /// decision stream is identical whether or not one is attached.
+    pub fn set_decision_sink(&mut self, sink: Arc<dyn DecisionSink>) {
+        self.sink = Some(sink);
     }
 
     /// This sidecar's pod name.
@@ -271,19 +369,36 @@ impl Sidecar {
     /// enable tracing). Copy the provenance — priority header and trace
     /// context — onto it, and allocate its client span. This is the
     /// paper's §4.3 step 2.
-    pub fn annotate_outbound(&mut self, req: &mut Request) -> Option<(TraceId, SpanId, SpanId)> {
+    pub fn annotate_outbound(
+        &mut self,
+        req: &mut Request,
+        now: SimTime,
+    ) -> Option<(TraceId, SpanId, SpanId)> {
         let request_id = req.headers.get(HDR_REQUEST_ID)?.to_string();
         let ctx = self.inflight.get(&request_id)?.clone();
+        let mut propagated = None;
         if let Some(p) = &ctx.priority {
             if !req.headers.contains(HDR_PRIORITY) {
                 req.headers.set(HDR_PRIORITY, p.clone());
                 self.stats.priority_propagated += 1;
+                propagated = Some(p.clone());
             }
         }
         req.headers.set(HDR_B3_TRACE_ID, ctx.trace.0.to_string());
         let child_span = SpanId(self.next_span);
         self.next_span += 1;
         req.headers.set(HDR_B3_SPAN_ID, child_span.0.to_string());
+        if let Some(sink) = &self.sink {
+            sink.on_decision(
+                &self.name,
+                now,
+                &Decision::Propagate {
+                    request_id: &request_id,
+                    trace: ctx.trace.0,
+                    priority: propagated.as_deref(),
+                },
+            );
+        }
         Some((ctx.trace, ctx.span, child_span))
     }
 
@@ -298,21 +413,54 @@ impl Sidecar {
         endpoints_for: &dyn Fn(&str, Option<&str>) -> Vec<PodId>,
         now: SimTime,
     ) -> RouteOutcome {
+        let sink = self.sink.clone();
+        let request_id = req.headers.get(HDR_REQUEST_ID).unwrap_or_default();
+        let trace: u64 = req
+            .headers
+            .get(HDR_B3_TRACE_ID)
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(0);
+        let fail = |status: StatusCode, cluster: Option<&str>, reason: &'static str| {
+            if let Some(s) = &sink {
+                s.on_decision(
+                    &self.name,
+                    now,
+                    &Decision::FailFast {
+                        request_id,
+                        trace,
+                        cluster,
+                        status,
+                        reason,
+                    },
+                );
+            }
+            RouteOutcome::FailFast(status)
+        };
         let Some(rule) = self.cfg.routes.resolve(req) else {
             self.stats.fail_fast += 1;
-            return RouteOutcome::FailFast(StatusCode::NOT_FOUND);
+            return fail(StatusCode::NOT_FOUND, None, "no-route");
         };
+        let rule_desc = sink
+            .as_ref()
+            .map(|_| {
+                format!(
+                    "{}{}",
+                    rule.authority.as_deref().unwrap_or("*"),
+                    rule.path_prefix.as_deref().unwrap_or("")
+                )
+            })
+            .unwrap_or_default();
         let roll = self.rng.below(100) as u32;
         let Some(target) = rule.pick_target(roll) else {
             self.stats.fail_fast += 1;
-            return RouteOutcome::FailFast(StatusCode::NOT_FOUND);
+            return fail(StatusCode::NOT_FOUND, None, "no-target");
         };
         let cluster = target.cluster.clone();
         let subset = target.subset.clone();
         let candidates = endpoints_for(&cluster, subset.as_deref());
         if candidates.is_empty() {
             self.stats.fail_fast += 1;
-            return RouteOutcome::FailFast(StatusCode::UNAVAILABLE);
+            return fail(StatusCode::UNAVAILABLE, Some(&cluster), "no-endpoints");
         }
         let policy = self.cfg.policy(&cluster).clone();
         let up = self
@@ -327,8 +475,13 @@ impl Sidecar {
             });
         if !up.breaker.try_admit(now) {
             self.stats.fail_fast += 1;
-            return RouteOutcome::FailFast(StatusCode::TOO_MANY_REQUESTS);
+            return fail(
+                StatusCode::TOO_MANY_REQUESTS,
+                Some(&cluster),
+                "breaker-open",
+            );
         }
+        let breaker_state = up.breaker.state(now).name();
         let healthy = up.outlier.healthy(&candidates, now);
         let outstanding_map = &up.outstanding;
         let outstanding = |p: PodId| outstanding_map.get(&p).copied().unwrap_or(0);
@@ -343,12 +496,29 @@ impl Sidecar {
                 *up.outstanding.entry(pod).or_insert(0) += 1;
                 up.budget.on_request(now);
                 self.stats.outbound_requests += 1;
+                if let Some(s) = &sink {
+                    s.on_decision(
+                        &self.name,
+                        now,
+                        &Decision::Route {
+                            request_id,
+                            trace,
+                            cluster: &cluster,
+                            rule: rule_desc,
+                            pod,
+                            candidates: candidates.len(),
+                            healthy: healthy.len(),
+                            lb: up.lb.policy().name(),
+                            breaker: breaker_state,
+                        },
+                    );
+                }
                 RouteOutcome::Forward { pod, cluster }
             }
             None => {
                 up.breaker.on_failure(now);
                 self.stats.fail_fast += 1;
-                RouteOutcome::FailFast(StatusCode::UNAVAILABLE)
+                fail(StatusCode::UNAVAILABLE, Some(&cluster), "no-healthy")
             }
         }
     }
@@ -418,16 +588,52 @@ impl Sidecar {
         failure: AttemptFailure,
         now: SimTime,
     ) -> Option<SimDuration> {
+        let sink = self.sink.clone();
+        let request_id = req.headers.get(HDR_REQUEST_ID).unwrap_or_default();
+        let denied = |name: &str, reason: &'static str| {
+            if let Some(s) = &sink {
+                s.on_decision(
+                    name,
+                    now,
+                    &Decision::RetryDenied {
+                        request_id,
+                        cluster,
+                        attempt,
+                        failure: failure.name(),
+                        reason,
+                    },
+                );
+            }
+        };
         let policy = self.cfg.policy(cluster).retry.clone();
         if !policy.should_retry(attempt, req.method, failure) {
+            denied(&self.name, "policy");
             return None;
         }
-        let up = self.upstreams.get_mut(cluster)?;
+        let Some(up) = self.upstreams.get_mut(cluster) else {
+            denied(&self.name, "no-upstream");
+            return None;
+        };
         if !up.budget.try_take(now) {
+            denied(&self.name, "budget");
             return None;
         }
         self.stats.retries += 1;
-        Some(policy.backoff(attempt + 1))
+        let backoff = policy.backoff(attempt + 1);
+        if let Some(s) = &sink {
+            s.on_decision(
+                &self.name,
+                now,
+                &Decision::Retry {
+                    request_id,
+                    cluster,
+                    attempt,
+                    failure: failure.name(),
+                    backoff_ns: backoff.as_nanos(),
+                },
+            );
+        }
+        Some(backoff)
     }
 
     /// Per-cluster per-try timeout (driver schedules it).
@@ -570,7 +776,7 @@ mod tests {
 
         // The app spawns a child request carrying only the request id.
         let mut child = Request::get("reviews", "/reviews/9").with_header(HDR_REQUEST_ID, &rid);
-        let (trace, parent, span) = sc.annotate_outbound(&mut child).expect("correlated");
+        let (trace, parent, span) = sc.annotate_outbound(&mut child, T0).expect("correlated");
         assert_eq!(child.headers.get(HDR_PRIORITY), Some("high"));
         assert_eq!(
             child.headers.get(HDR_B3_TRACE_ID),
@@ -580,7 +786,7 @@ mod tests {
         assert_eq!(sc.stats().priority_propagated, 1);
         // An uncorrelated request gets nothing.
         let mut orphan = Request::get("reviews", "/");
-        assert!(sc.annotate_outbound(&mut orphan).is_none());
+        assert!(sc.annotate_outbound(&mut orphan, T0).is_none());
     }
 
     #[test]
@@ -592,7 +798,7 @@ mod tests {
         let mut child = Request::get("reviews", "/")
             .with_header(HDR_REQUEST_ID, &rid)
             .with_header(HDR_PRIORITY, "low");
-        sc.annotate_outbound(&mut child);
+        sc.annotate_outbound(&mut child, T0);
         assert_eq!(child.headers.get(HDR_PRIORITY), Some("low"));
     }
 

@@ -31,11 +31,13 @@
 pub mod link;
 pub mod packet;
 pub mod qdisc;
+pub mod tap;
 pub mod tc;
 pub mod topology;
 
 pub use link::{Link, LinkOutcome, LinkStats};
 pub use packet::{ClassId, NodeId, Packet, PacketKind, DSCP_BATCH, DSCP_CONTROL, DSCP_LATENCY};
 pub use qdisc::{Codel, Deq, DropTail, Drr, HtbClass, HtbLite, Prio, Qdisc, Tbf, TokenBucket};
+pub use tap::{PacketTap, TapEvent, TapOp};
 pub use tc::{Filter, FilterMatch, TcTable};
 pub use topology::{LinkId, Route, Topology};

@@ -18,11 +18,13 @@
 
 use crate::packet::{ClassId, NodeId, Packet};
 use crate::qdisc::{Deq, Qdisc};
+use crate::tap::{PacketTap, TapEvent, TapOp};
 use crate::tc::TcTable;
 use crate::topology::LinkId;
 use meshlayer_simcore::time::tx_time;
 use meshlayer_simcore::{SimDuration, SimTime};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What the driver must do next for this link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +73,7 @@ pub struct Link {
     tx_started: SimTime,
     pending_kick: Option<SimTime>,
     stats: LinkStats,
+    tap: Option<Arc<dyn PacketTap>>,
 }
 
 impl Link {
@@ -97,7 +100,20 @@ impl Link {
             tx_started: SimTime::ZERO,
             pending_kick: None,
             stats: LinkStats::default(),
+            tap: None,
         }
+    }
+
+    /// Attach a capture tap observing this link's qdisc activity (pass the
+    /// same tap to many links to capture fabric-wide). Taps are passive:
+    /// they never change queueing behaviour.
+    pub fn set_tap(&mut self, tap: Arc<dyn PacketTap>) {
+        self.tap = Some(tap);
+    }
+
+    /// Detach the capture tap, if any.
+    pub fn clear_tap(&mut self) {
+        self.tap = None;
     }
 
     /// This link's id.
@@ -184,9 +200,22 @@ impl Link {
     /// whether the packet was dropped (`true` = dropped).
     pub fn offer(&mut self, pkt: Packet, now: SimTime) -> (LinkOutcome, bool) {
         let class = self.tc.classify(&pkt);
+        // Snapshot for the tap before the qdisc consumes the packet.
+        let snapshot = self.tap.is_some().then(|| pkt.clone());
         let dropped = self.qdisc.enqueue(pkt, class, now).is_err();
         self.stats.peak_queue_pkts = self.stats.peak_queue_pkts.max(self.qdisc.len());
         self.stats.peak_queue_bytes = self.stats.peak_queue_bytes.max(self.qdisc.byte_len());
+        if let (Some(tap), Some(p)) = (&self.tap, &snapshot) {
+            tap.on_packet(TapEvent {
+                link: self.id,
+                op: if dropped { TapOp::Drop } else { TapOp::Enqueue },
+                pkt: p,
+                band: self.qdisc.band_of(class),
+                queue_pkts: self.qdisc.len(),
+                queue_bytes: self.qdisc.byte_len(),
+                now,
+            });
+        }
         if self.in_flight.is_some() {
             // Wire busy; on_tx_done will pick the packet up.
             return (LinkOutcome::Idle, dropped);
@@ -225,6 +254,17 @@ impl Link {
         debug_assert!(self.in_flight.is_none());
         match self.qdisc.dequeue(now) {
             Deq::Packet(pkt) => {
+                if let Some(tap) = &self.tap {
+                    tap.on_packet(TapEvent {
+                        link: self.id,
+                        op: TapOp::Dequeue,
+                        pkt: &pkt,
+                        band: self.qdisc.band_of(self.tc.classify(&pkt)),
+                        queue_pkts: self.qdisc.len(),
+                        queue_bytes: self.qdisc.byte_len(),
+                        now,
+                    });
+                }
                 let done_at = now + tx_time(pkt.wire_size() as u64, self.rate_bps);
                 self.in_flight = Some(pkt);
                 self.tx_started = now;

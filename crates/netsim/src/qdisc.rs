@@ -46,6 +46,14 @@ pub trait Qdisc: Send {
 
     /// Packets dropped since creation.
     fn dropped(&self) -> u64;
+
+    /// The band/class index a packet classified as `class` would occupy.
+    /// Classless qdiscs report band 0; classful ones clamp to their last
+    /// band exactly as their `enqueue` does. Used by capture taps.
+    fn band_of(&self, class: ClassId) -> usize {
+        let _ = class;
+        0
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -176,6 +184,10 @@ impl Qdisc for Prio {
 
     fn dropped(&self) -> u64 {
         self.drops
+    }
+
+    fn band_of(&self, class: ClassId) -> usize {
+        (class.0 as usize).min(self.bands.len() - 1)
     }
 }
 
@@ -418,6 +430,10 @@ impl Qdisc for Drr {
     fn dropped(&self) -> u64 {
         self.drops
     }
+
+    fn band_of(&self, class: ClassId) -> usize {
+        (class.0 as usize).min(self.classes.len() - 1)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -575,6 +591,10 @@ impl Qdisc for HtbLite {
 
     fn dropped(&self) -> u64 {
         self.drops
+    }
+
+    fn band_of(&self, class: ClassId) -> usize {
+        (class.0 as usize).min(self.classes.len() - 1)
     }
 }
 

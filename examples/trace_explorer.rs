@@ -3,22 +3,33 @@
 //! slowest trace as a tree and its critical path — the mesh-level
 //! observability the paper argues lower layers cannot reconstruct.
 //!
+//! The run also records a flight capture, so after the span tree we can
+//! join a trace's spans with the *packet-level* records for the same
+//! `x-request-id` — one unified timeline from application hop down to
+//! individual queue operations on the wire.
+//!
 //! ```sh
 //! cargo run --release --example trace_explorer
 //! ```
 
 use meshlayer::apps::ecommerce;
 use meshlayer::core::Simulation;
+use meshlayer::flightrec::FlightLog;
 use meshlayer::mesh::Sampling;
 use meshlayer::simcore::SimDuration;
+use std::path::PathBuf;
 
 fn main() {
+    let out = std::env::var("MESHLAYER_OUT").unwrap_or_else(|_| "results".into());
+    let flight_path = PathBuf::from(out).join("trace_explorer.flight");
     let mut spec = ecommerce(30.0, 10.0);
     spec.xlayer.classify = true;
     spec.mesh.sampling = Sampling::Always;
     spec.config.duration = SimDuration::from_secs(5);
     spec.config.warmup = SimDuration::from_secs(1);
     let mut sim = Simulation::build(spec);
+    sim.record_to("trace_explorer", &flight_path)
+        .expect("create flight capture");
     let metrics = sim.run();
     println!("{}", metrics.render());
 
@@ -48,6 +59,28 @@ fn main() {
         );
         print!("{}", slowest.render());
         println!("critical path: {}", slowest.critical_path().join(" -> "));
+
+        // Join the slowest trace with the flight recorder: its spans share
+        // a trace id with the sidecar decision records, which carry the
+        // x-request-id that message bindings map down to individual
+        // packets. Spans tell you *which hop* was slow; the packet stream
+        // tells you *why* (queueing, drops, band).
+        let log = FlightLog::load(&flight_path).expect("load flight capture");
+        let rid = log
+            .decisions
+            .iter()
+            .find(|d| d.trace == slowest.trace.0 && !d.request_id.is_empty())
+            .map(|d| d.request_id.clone());
+        match rid {
+            Some(rid) => {
+                println!("\nflight-recorder view of the same request ({rid}):");
+                print!("{}", log.dump_request(&rid).expect("request in capture"));
+            }
+            None => println!(
+                "\n(trace {:x} not in the flight capture — likely started in warmup)",
+                slowest.trace.0
+            ),
+        }
     }
 
     // Coordinated bursty tracing (the [4]-style mode from §3.2).

@@ -16,6 +16,22 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
   echo "== cargo test =="
   cargo test --offline --workspace -q
+
+  echo "== flight recorder: record/replay divergence smoke =="
+  # Record a short canonical run, replay it, and require a clean
+  # zero-divergence report — the executable form of the determinism
+  # guarantee in DESIGN.md §6/§7.
+  flight_out="$(mktemp -d)"
+  trap 'rm -rf "$flight_out"' EXIT
+  MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=3 MESHLAYER_WARMUP=1 \
+    cargo run --offline --release -q -p meshlayer-bench --bin fig4_latency -- --record
+  replay_log="$(MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=3 MESHLAYER_WARMUP=1 \
+    cargo run --offline --release -q -p meshlayer-bench --bin fig4_latency -- --replay)"
+  echo "$replay_log"
+  if ! grep -q "0 divergences" <<<"$replay_log"; then
+    echo "ci: replay diverged" >&2
+    exit 1
+  fi
 fi
 
 echo "ci: all checks passed"

@@ -18,6 +18,8 @@
 //!   discovery, service behaviour graphs).
 //! * [`mesh`] — the service-mesh layer itself: sidecar proxies and an
 //!   xDS-like control plane.
+//! * [`flightrec`] — flight recorder: deterministic event/packet/decision
+//!   capture with replay and divergence detection.
 //! * [`core`] — the paper's contribution: provenance tracing and
 //!   cross-layer prioritization, plus the end-to-end simulation world.
 //! * [`apps`] — reference applications (bookinfo/e-library, e-commerce).
@@ -31,6 +33,7 @@
 pub use meshlayer_apps as apps;
 pub use meshlayer_cluster as cluster;
 pub use meshlayer_core as core;
+pub use meshlayer_flightrec as flightrec;
 pub use meshlayer_http as http;
 pub use meshlayer_mesh as mesh;
 pub use meshlayer_netsim as netsim;
