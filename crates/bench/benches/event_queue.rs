@@ -1,0 +1,99 @@
+//! Microbenchmarks of the event queue: push/pop cycles in the access
+//! patterns the simulation actually generates. These bound the per-event
+//! scheduling cost of the calendar-queue engine (see DESIGN.md,
+//! "Calendar queue").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use meshlayer_simcore::{EventQueue, SimDuration, SimTime};
+
+/// Hold-model churn: a standing population of events; each pop schedules
+/// a successor a pseudo-random short delay ahead — the steady state of a
+/// discrete-event simulation.
+fn churn(q: &mut EventQueue<u64>, standing: u64, iters: u64) {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut t = SimTime::ZERO;
+    for i in 0..standing {
+        q.push(t + SimDuration::from_nanos(i * 131), i);
+    }
+    for _ in 0..iters {
+        let (at, ev) = q.pop().expect("standing population");
+        t = at;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // 0..~1ms ahead: spans many wheel buckets without leaving the
+        // horizon, like transmit/compute completions do.
+        q.push(t + SimDuration::from_nanos(x % 1_000_000), black_box(ev));
+    }
+    q.clear();
+}
+
+/// Same churn, but a slice of events lands far beyond the wheel horizon
+/// (timeouts, telemetry ticks), exercising the overflow heap and its
+/// migration path.
+fn churn_with_timeouts(q: &mut EventQueue<u64>, iters: u64) {
+    let mut x = 0xdead_beef_cafe_f00du64;
+    let mut t = SimTime::ZERO;
+    for i in 0..256 {
+        q.push(t + SimDuration::from_nanos(i * 977), i);
+    }
+    for i in 0..iters {
+        let (at, ev) = q.pop().expect("standing population");
+        t = at;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let delay = if i % 16 == 0 {
+            // Past the ~67ms horizon: goes to the overflow heap.
+            100_000_000 + x % 100_000_000
+        } else {
+            x % 1_000_000
+        };
+        q.push(t + SimDuration::from_nanos(delay), black_box(ev));
+    }
+    q.clear();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for standing in [64u64, 1024, 16_384] {
+        g.bench_function(format!("churn_{standing}"), |b| {
+            b.iter_custom(|iters| {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                let t = std::time::Instant::now();
+                churn(&mut q, standing, iters);
+                t.elapsed()
+            })
+        });
+    }
+    g.bench_function("churn_with_timeouts", |b| {
+        b.iter_custom(|iters| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let t = std::time::Instant::now();
+            churn_with_timeouts(&mut q, iters);
+            t.elapsed()
+        })
+    });
+    g.bench_function("push_pop_fifo_same_instant", |b| {
+        // Degenerate tie-break path: everything at one instant, pure
+        // FIFO — measures the due-buffer insert/pop cost.
+        b.iter_custom(|iters| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let at = SimTime::ZERO + SimDuration::from_millis(1);
+            let t = std::time::Instant::now();
+            for chunk in 0..iters.div_ceil(64) {
+                for i in 0..64 {
+                    q.push(at, chunk * 64 + i);
+                }
+                for _ in 0..64 {
+                    black_box(q.pop());
+                }
+            }
+            t.elapsed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmark of the sidecar's per-request hot path: inbound
+//! provenance capture, child-request annotation, and outbound routing —
+//! the ingress→route cycle every simulated RPC hop pays (§2 proxy
+//! overhead, the simulated analogue of Table 1's added milliseconds).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use meshlayer_cluster::PodId;
+use meshlayer_http::{Request, RouteRule, RouteTable, HDR_PRIORITY, HDR_REQUEST_ID};
+use meshlayer_mesh::{MeshConfig, RouteOutcome, Sidecar};
+use meshlayer_simcore::{SimRng, SimTime};
+
+fn mk_sidecar() -> Sidecar {
+    let mut routes = RouteTable::new();
+    routes.push(RouteRule::passthrough("reviews"));
+    let cfg = MeshConfig {
+        routes,
+        ..MeshConfig::default()
+    };
+    Sidecar::new("frontend-1", "frontend", cfg, SimRng::new(42))
+}
+
+fn endpoints(cluster: &str, _subset: Option<&str>) -> Vec<PodId> {
+    if cluster == "reviews" {
+        vec![PodId(0), PodId(1), PodId(2)]
+    } else {
+        vec![]
+    }
+}
+
+/// One full hop: ingress a prioritized request, annotate the child the
+/// app spawns, route it, finish the inbound.
+fn hop(sc: &mut Sidecar, now: SimTime) {
+    let mut inbound = Request::get("frontend", "/").with_header(HDR_PRIORITY, "high");
+    sc.on_inbound(&mut inbound, now);
+    let rid = inbound
+        .headers
+        .get(HDR_REQUEST_ID)
+        .expect("minted")
+        .to_string();
+    let mut child = Request::get("reviews", "/reviews/9").with_header(HDR_REQUEST_ID, &rid);
+    sc.annotate_outbound(&mut child, now).expect("correlated");
+    match sc.route_outbound(&child, &endpoints, now) {
+        RouteOutcome::Forward { pod, .. } => {
+            black_box(pod);
+        }
+        other => panic!("expected a forward, got {other:?}"),
+    }
+    sc.end_inbound(&rid);
+}
+
+fn bench_sidecar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sidecar");
+    g.bench_function("ingress_annotate_route", |b| {
+        b.iter_custom(|iters| {
+            let mut sc = mk_sidecar();
+            let t = std::time::Instant::now();
+            for i in 0..iters {
+                hop(&mut sc, SimTime::from_micros(i));
+            }
+            t.elapsed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sidecar);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Continuous benchmark for the event-engine hot path.
+//!
+//! Runs the fig4 sweep shape serially (each rps point with and without
+//! cross-layer optimization), counts events processed per event-loop
+//! wall-clock second, and writes `BENCH_engine.json` to the artifact
+//! directory so the perf trajectory is tracked across PRs.
+//!
+//! Flags:
+//! - `--smoke`: short CI run (2 sim-seconds, reduced point set) unless
+//!   `MESHLAYER_SECS` explicitly overrides.
+//! - `--gate <baseline.json>`: exit non-zero if events/sec regresses
+//!   more than 20 % below the checked-in baseline report.
+//!
+//! Defaults to `MESHLAYER_SECS=10` (not the harness-wide 30) — long
+//! enough for stable throughput, short enough to run on every PR.
+
+use meshlayer_bench::{artifact_dir, engine_macro_bench, EngineBenchReport, RunLength};
+
+/// Fraction of baseline events/sec below which the gate fails.
+const GATE_FLOOR: f64 = 0.8;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let baseline_path = args.iter().position(|a| a == "--gate").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("bench_engine: --gate requires a path to a baseline BENCH_engine.json");
+            std::process::exit(2);
+        })
+    });
+
+    let mut len = RunLength::from_env();
+    if std::env::var("MESHLAYER_SECS").is_err() {
+        len.secs = if smoke { 2 } else { 10 };
+    }
+    if std::env::var("MESHLAYER_WARMUP").is_err() {
+        len.warmup = 1;
+    }
+    let points: Vec<f64> = if smoke {
+        vec![20.0, 40.0]
+    } else {
+        vec![10.0, 20.0, 30.0, 40.0, 50.0]
+    };
+
+    eprintln!(
+        "bench_engine: fig4 macro bench, rps={points:?}, {}s per run ({} serial runs)...",
+        len.secs,
+        points.len() * 2
+    );
+    let report = engine_macro_bench(&points, len);
+    print!("{}", report.render());
+
+    let dir = artifact_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("bench_engine: cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    let out = dir.join("BENCH_engine.json");
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("bench_engine: cannot write {}: {e}", out.display());
+        std::process::exit(2);
+    }
+    eprintln!("wrote {}", out.display());
+
+    if let Some(path) = baseline_path {
+        let baseline: EngineBenchReport = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_engine: cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let ratio = report.events_per_sec / baseline.events_per_sec.max(1e-12);
+        eprintln!(
+            "gate: {:.0} events/sec vs baseline {:.0} ({:.2}x, floor {GATE_FLOOR}x)",
+            report.events_per_sec, baseline.events_per_sec, ratio
+        );
+        if ratio < GATE_FLOOR {
+            eprintln!(
+                "bench_engine: FAIL: events/sec regressed >{:.0}% vs {path}",
+                (1.0 - GATE_FLOOR) * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("gate: ok");
+    }
+}

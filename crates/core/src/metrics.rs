@@ -179,15 +179,19 @@ impl RunMetrics {
         );
         let telemetry = hub.finish(now);
         let analytics = TraceAnalytics::from_spans(sim.tracer.spans());
-        let event_profile = sim
+        let mut event_profile: Vec<EvProfile> = sim
             .ev_profile
             .iter()
-            .map(|(name, &(count, wall_ns))| EvProfile {
-                event: name.to_string(),
+            .enumerate()
+            .filter(|&(_, &(count, _))| count > 0)
+            .map(|(code, &(count, wall_ns))| EvProfile {
+                event: crate::sim::Ev::NAMES[code].to_string(),
                 count,
                 wall_ns,
             })
             .collect();
+        // Alphabetical, matching the former name-keyed map's ordering.
+        event_profile.sort_by(|a, b| a.event.cmp(&b.event));
         RunMetrics {
             classes,
             links,

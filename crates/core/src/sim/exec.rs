@@ -326,7 +326,7 @@ impl Simulation {
         };
         resp.headers.set(HDR_REQUEST_ID, request_id);
         if let Some(p) = &e.ctx.priority {
-            resp.headers.set(HDR_PRIORITY, p.clone());
+            resp.headers.set(HDR_PRIORITY, p.as_ref());
         }
         resp.headers.set(HDR_B3_TRACE_ID, e.ctx.trace.0.to_string());
         let wire = resp.wire_size();

@@ -32,12 +32,12 @@ use meshlayer_http::{Request, Response, RouteRule, StatusCode};
 use meshlayer_mesh::SidecarStats;
 use meshlayer_mesh::{ControlPlane, InboundCtx, MeshConfig, Sidecar, SpanId, TraceId, Tracer};
 use meshlayer_netsim::{LinkId, NodeId, Packet};
+use meshlayer_simcore::FxHashMap;
 use meshlayer_simcore::{Dist, EventQueue, SimDuration, SimRng, SimTime};
 use meshlayer_telemetry::{TelemetryConfig, TelemetryHub};
 use meshlayer_transport::{CcAlgo, Conn, ConnConfig, MuxPolicy};
 use meshlayer_workload::{OpenLoopGen, Recorder, WorkloadSpec};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
 
 /// Scalar knobs of a run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -185,26 +185,34 @@ pub(crate) enum Ev {
 }
 
 impl Ev {
+    /// Number of variants ([`Ev::code`] is `0..COUNT`).
+    pub(crate) const COUNT: usize = 16;
+
+    /// Variant names, indexed by [`Ev::code`] — for the per-event
+    /// profiling counters.
+    pub(crate) const NAMES: [&'static str; Ev::COUNT] = [
+        "Arrival",
+        "LinkTx",
+        "LinkKick",
+        "PktArrive",
+        "ConnTimer",
+        "SendMsg",
+        "ExecStart",
+        "ComputeDone",
+        "AttemptResponse",
+        "PerTryTimeout",
+        "RpcTimeout",
+        "RetryFire",
+        "HedgeFire",
+        "SdnTick",
+        "ControlTick",
+        "TelemetryTick",
+    ];
+
     /// Variant name, for the per-event profiling counters.
+    #[allow(dead_code)]
     pub(crate) fn name(&self) -> &'static str {
-        match self {
-            Ev::Arrival { .. } => "Arrival",
-            Ev::LinkTx { .. } => "LinkTx",
-            Ev::LinkKick { .. } => "LinkKick",
-            Ev::PktArrive { .. } => "PktArrive",
-            Ev::ConnTimer { .. } => "ConnTimer",
-            Ev::SendMsg { .. } => "SendMsg",
-            Ev::ExecStart { .. } => "ExecStart",
-            Ev::ComputeDone { .. } => "ComputeDone",
-            Ev::AttemptResponse { .. } => "AttemptResponse",
-            Ev::PerTryTimeout { .. } => "PerTryTimeout",
-            Ev::RpcTimeout { .. } => "RpcTimeout",
-            Ev::RetryFire { .. } => "RetryFire",
-            Ev::HedgeFire { .. } => "HedgeFire",
-            Ev::SdnTick => "SdnTick",
-            Ev::ControlTick => "ControlTick",
-            Ev::TelemetryTick => "TelemetryTick",
-        }
+        Ev::NAMES[self.code() as usize]
     }
 }
 
@@ -215,9 +223,9 @@ pub(crate) struct ScrapeState {
     /// When the previous scrape ran.
     pub last_at: SimTime,
     /// Per link: (busy_ns, drops) at the previous scrape.
-    pub links: HashMap<LinkId, (u64, u64)>,
+    pub links: FxHashMap<LinkId, (u64, u64)>,
     /// Per sidecar: counter snapshot at the previous scrape.
-    pub sidecars: HashMap<PodId, SidecarStats>,
+    pub sidecars: FxHashMap<PodId, SidecarStats>,
 }
 
 // ---------------------------------------------------------------------------
@@ -322,7 +330,7 @@ pub(crate) struct Exec {
     pub started: SimTime,
     pub response_bytes: u64,
     pub failed: Option<StatusCode>,
-    pub conts: HashMap<u64, Cont>,
+    pub conts: FxHashMap<u64, Cont>,
     /// Reply path: the connection/direction the request arrived on.
     pub reply_conn: u64,
     pub reply_dir: u8,
@@ -378,24 +386,25 @@ pub struct Simulation {
     pub(crate) cluster: Cluster,
     pub(crate) fabric: Fabric,
     pub(crate) control: ControlPlane,
-    pub(crate) sidecars: HashMap<PodId, Sidecar>,
+    pub(crate) sidecars: FxHashMap<PodId, Sidecar>,
     pub(crate) ingress_pod: PodId,
     pub(crate) queue: EventQueue<Ev>,
-    pub(crate) conn_ids: HashMap<(PodId, PodId, u8, usize), u64>,
-    pub(crate) pool_cursor: HashMap<(PodId, PodId, u8), usize>,
-    pub(crate) conns: HashMap<u64, ConnPair>,
-    pub(crate) msg_store: HashMap<u64, MsgInFlight>,
-    pub(crate) rpcs: HashMap<u64, Rpc>,
-    pub(crate) execs: HashMap<u64, Exec>,
-    pub(crate) compute_jobs: HashMap<u64, ComputeJob>,
+    pub(crate) conn_ids: FxHashMap<(PodId, PodId, u8, usize), u64>,
+    pub(crate) pool_cursor: FxHashMap<(PodId, PodId, u8), usize>,
+    pub(crate) conns: FxHashMap<u64, ConnPair>,
+    pub(crate) msg_store: FxHashMap<u64, MsgInFlight>,
+    pub(crate) rpcs: FxHashMap<u64, Rpc>,
+    pub(crate) execs: FxHashMap<u64, Exec>,
+    pub(crate) compute_jobs: FxHashMap<u64, ComputeJob>,
     pub(crate) gens: Vec<OpenLoopGen>,
     pub(crate) sdn: crate::sdn::SdnController,
     pub(crate) recorder: Recorder,
     pub(crate) tracer: Tracer,
     pub(crate) telemetry: TelemetryHub,
     pub(crate) scrape: ScrapeState,
-    /// Per-Ev-variant profiling: (count, cumulative handler wall nanos).
-    pub(crate) ev_profile: BTreeMap<&'static str, (u64, u64)>,
+    /// Per-Ev-variant profiling, indexed by [`Ev::code`]:
+    /// (count, cumulative handler wall nanos).
+    pub(crate) ev_profile: [(u64, u64); Ev::COUNT],
     pub(crate) rng: SimRng,
     pub(crate) stats: WorldStats,
     pub(crate) end_at: SimTime,
@@ -458,7 +467,7 @@ impl Simulation {
         }
 
         let mut control = ControlPlane::new(mesh.clone());
-        let mut sidecars = HashMap::new();
+        let mut sidecars = FxHashMap::default();
         let pod_list: Vec<(PodId, String, String)> = cluster
             .pods()
             .map(|p| {
@@ -529,20 +538,20 @@ impl Simulation {
             sidecars,
             ingress_pod,
             queue: EventQueue::new(),
-            conn_ids: HashMap::new(),
-            pool_cursor: HashMap::new(),
-            conns: HashMap::new(),
-            msg_store: HashMap::new(),
-            rpcs: HashMap::new(),
-            execs: HashMap::new(),
-            compute_jobs: HashMap::new(),
+            conn_ids: FxHashMap::default(),
+            pool_cursor: FxHashMap::default(),
+            conns: FxHashMap::default(),
+            msg_store: FxHashMap::default(),
+            rpcs: FxHashMap::default(),
+            execs: FxHashMap::default(),
+            compute_jobs: FxHashMap::default(),
             gens,
             sdn: crate::sdn::SdnController::new(0.7),
             recorder,
             tracer: Tracer::new(100_000),
             telemetry,
             scrape: ScrapeState::default(),
-            ev_profile: BTreeMap::new(),
+            ev_profile: [(0, 0); Ev::COUNT],
             rng: rng.split("world"),
             stats: WorldStats::default(),
             end_at,

@@ -6,7 +6,7 @@
 //! (§4.3 step 2). Zipkin-style `x-b3-*` headers carry the trace context
 //! that makes distributed tracing — and therefore provenance — work.
 
-use serde::{Deserialize, Serialize};
+use serde::{de_field, Deserialize, Error, Node, Serialize};
 use std::fmt;
 
 /// Envoy's per-request correlation id, propagated by applications so the
@@ -25,14 +25,82 @@ pub const HDR_HOST: &str = "host";
 /// Standard content-length header.
 pub const HDR_CONTENT_LENGTH: &str = "content-length";
 
+/// The well-known names interned as `&'static str` so the hot path never
+/// allocates for them.
+const WELL_KNOWN: [&str; 7] = [
+    HDR_REQUEST_ID,
+    HDR_PRIORITY,
+    HDR_B3_TRACE_ID,
+    HDR_B3_SPAN_ID,
+    HDR_B3_PARENT_SPAN_ID,
+    HDR_HOST,
+    HDR_CONTENT_LENGTH,
+];
+
+/// An interned, always-lowercase header name.
+///
+/// Well-known mesh headers (the `HDR_*` constants) are stored as static
+/// references; anything else owns a lowercased boxed string. Either way
+/// the stored form is lowercase, so lookups compare with
+/// `eq_ignore_ascii_case` and never allocate.
+#[derive(Clone)]
+enum HeaderName {
+    Static(&'static str),
+    Owned(Box<str>),
+}
+
+impl HeaderName {
+    fn intern(name: &str) -> HeaderName {
+        for w in WELL_KNOWN {
+            if name.eq_ignore_ascii_case(w) {
+                return HeaderName::Static(w);
+            }
+        }
+        if name.bytes().any(|b| b.is_ascii_uppercase()) {
+            HeaderName::Owned(name.to_ascii_lowercase().into_boxed_str())
+        } else {
+            HeaderName::Owned(name.into())
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            HeaderName::Static(s) => s,
+            HeaderName::Owned(s) => s,
+        }
+    }
+}
+
+impl PartialEq for HeaderName {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl Eq for HeaderName {}
+
+impl fmt::Debug for HeaderName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
 /// An ordered, case-insensitive header multimap.
 ///
 /// Names are normalized to lowercase at insertion (HTTP/1.1 header names
-/// are case-insensitive; HTTP/2 requires lowercase). Insertion order is
-/// preserved for deterministic serialization.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// are case-insensitive; HTTP/2 requires lowercase) and interned when
+/// well-known, so lookups by the `HDR_*` constants are allocation-free
+/// string compares. Insertion order is preserved for deterministic
+/// serialization.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HeaderMap {
-    entries: Vec<(String, String)>,
+    entries: Vec<(HeaderName, String)>,
+}
+
+/// Stored names are lowercase; a query that is already lowercase hits the
+/// fast byte-equality path inside `eq_ignore_ascii_case`.
+#[inline]
+fn name_eq(stored: &HeaderName, query: &str) -> bool {
+    stored.as_str().eq_ignore_ascii_case(query)
 }
 
 impl HeaderMap {
@@ -43,31 +111,28 @@ impl HeaderMap {
 
     /// Append a header (keeps any existing values for the same name).
     pub fn append(&mut self, name: &str, value: impl Into<String>) {
-        self.entries.push((name.to_ascii_lowercase(), value.into()));
+        self.entries.push((HeaderName::intern(name), value.into()));
     }
 
     /// Set a header, replacing all existing values for the same name.
     pub fn set(&mut self, name: &str, value: impl Into<String>) {
-        let lname = name.to_ascii_lowercase();
-        self.entries.retain(|(n, _)| *n != lname);
-        self.entries.push((lname, value.into()));
+        self.entries.retain(|(n, _)| !name_eq(n, name));
+        self.entries.push((HeaderName::intern(name), value.into()));
     }
 
     /// First value for `name`, if present.
     pub fn get(&self, name: &str) -> Option<&str> {
-        let lname = name.to_ascii_lowercase();
         self.entries
             .iter()
-            .find(|(n, _)| *n == lname)
+            .find(|(n, _)| name_eq(n, name))
             .map(|(_, v)| v.as_str())
     }
 
     /// All values for `name`, in insertion order.
     pub fn get_all(&self, name: &str) -> Vec<&str> {
-        let lname = name.to_ascii_lowercase();
         self.entries
             .iter()
-            .filter(|(n, _)| *n == lname)
+            .filter(|(n, _)| name_eq(n, name))
             .map(|(_, v)| v.as_str())
             .collect()
     }
@@ -79,9 +144,8 @@ impl HeaderMap {
 
     /// Remove all values for `name`; returns how many were removed.
     pub fn remove(&mut self, name: &str) -> usize {
-        let lname = name.to_ascii_lowercase();
         let before = self.entries.len();
-        self.entries.retain(|(n, _)| *n != lname);
+        self.entries.retain(|(n, _)| !name_eq(n, name));
         before - self.entries.len()
     }
 
@@ -104,8 +168,42 @@ impl HeaderMap {
     pub fn wire_size(&self) -> usize {
         self.entries
             .iter()
-            .map(|(n, v)| n.len() + 2 + v.len() + 2)
+            .map(|(n, v)| n.as_str().len() + 2 + v.len() + 2)
             .sum()
+    }
+}
+
+// Hand-written serde impls that match what `#[derive]` produced when
+// `entries` was a plain `Vec<(String, String)>`, so existing captures and
+// artifacts keep round-tripping bit-for-bit.
+impl Serialize for HeaderMap {
+    fn serialize(&self) -> Node {
+        Node::Map(vec![(
+            "entries".to_string(),
+            Node::Seq(
+                self.entries
+                    .iter()
+                    .map(|(n, v)| {
+                        Node::Seq(vec![
+                            Node::Str(n.as_str().to_string()),
+                            Node::Str(v.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+impl Deserialize for HeaderMap {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        let raw: Vec<(String, String)> = de_field(n, "entries")?;
+        Ok(HeaderMap {
+            entries: raw
+                .into_iter()
+                .map(|(name, value)| (HeaderName::intern(&name), value))
+                .collect(),
+        })
     }
 }
 
@@ -178,6 +276,35 @@ mod tests {
     fn display_renders_lines() {
         let h = HeaderMap::from([("a", "1")]);
         assert_eq!(h.to_string(), "a: 1\n");
+    }
+
+    #[test]
+    fn serde_shape_matches_plain_tuple_derive() {
+        // The wire shape must stay what #[derive] produced for
+        // Vec<(String, String)>: {"entries": [[name, value], ...]}.
+        let h = HeaderMap::from([("X-Request-Id", "abc"), ("custom", "v")]);
+        let expected = Node::Map(vec![(
+            "entries".to_string(),
+            Node::Seq(vec![
+                Node::Seq(vec![
+                    Node::Str("x-request-id".into()),
+                    Node::Str("abc".into()),
+                ]),
+                Node::Seq(vec![Node::Str("custom".into()), Node::Str("v".into())]),
+            ]),
+        )]);
+        assert_eq!(h.serialize(), expected);
+        assert_eq!(HeaderMap::deserialize(&expected).unwrap(), h);
+    }
+
+    #[test]
+    fn interning_preserves_case_insensitive_equality() {
+        let mut a = HeaderMap::new();
+        a.set("X-MESH-PRIORITY", "high"); // interned static
+        let mut b = HeaderMap::new();
+        b.set("x-mesh-priority", "high");
+        assert_eq!(a, b);
+        assert_eq!(a.iter().next(), Some((HDR_PRIORITY, "high")));
     }
 
     #[test]

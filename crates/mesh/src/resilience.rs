@@ -44,8 +44,12 @@ impl AttemptFailure {
 pub struct RetryPolicy {
     /// Maximum retries after the initial attempt.
     pub max_retries: u32,
-    /// Base backoff; attempt `n` waits `base × 2^(n-1)`.
+    /// Base backoff; retry `n` waits `min(base × 2^(n-1), max_backoff)`.
     pub base_backoff: SimDuration,
+    /// Upper bound on the exponential backoff (Envoy's
+    /// `max_interval`). The doubling stops growing once it reaches this
+    /// cap, so arbitrarily high retry numbers stay well-defined.
+    pub max_backoff: SimDuration,
     /// Retry on 5xx responses.
     pub on_5xx: bool,
     /// Retry on per-try timeout.
@@ -62,6 +66,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 2,
             base_backoff: SimDuration::from_millis(5),
+            max_backoff: SimDuration::from_secs(5),
             on_5xx: true,
             on_timeout: true,
             retry_non_idempotent: false,
@@ -96,10 +101,18 @@ impl RetryPolicy {
     }
 
     /// Backoff before retry number `retry_no` (1-based), with full jitter
-    /// applied by the caller if desired.
+    /// applied by the caller if desired: `base × 2^(retry_no-1)`, clamped
+    /// to [`RetryPolicy::max_backoff`]. Any `retry_no` (including
+    /// `u32::MAX`) is well-defined — once the doubling passes the cap the
+    /// result is exactly `max_backoff`.
     pub fn backoff(&self, retry_no: u32) -> SimDuration {
+        let exp = retry_no.saturating_sub(1);
+        // Beyond 2^63 the multiply would overflow u64; the saturating
+        // multiply below already yields >= max_backoff there.
+        let factor = if exp >= 63 { u64::MAX } else { 1u64 << exp };
         self.base_backoff
-            .saturating_mul(1u64 << (retry_no.saturating_sub(1)).min(10))
+            .saturating_mul(factor)
+            .min(self.max_backoff)
     }
 }
 
@@ -443,6 +456,35 @@ mod tests {
         assert_eq!(p.backoff(1), SimDuration::from_millis(10));
         assert_eq!(p.backoff(2), SimDuration::from_millis(20));
         assert_eq!(p.backoff(3), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn backoff_clamps_at_max_backoff() {
+        let p = RetryPolicy {
+            base_backoff: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(4), SimDuration::from_millis(80));
+        // 2^4 × 10ms = 160ms exceeds the cap.
+        assert_eq!(p.backoff(5), SimDuration::from_millis(100));
+        assert_eq!(p.backoff(6), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn backoff_extreme_retry_numbers_stay_clamped() {
+        let p = RetryPolicy::default();
+        // All of these would overflow (or saturate) 2^(n-1) × base without
+        // the clamp; each must be exactly the cap.
+        for n in [11, 64, 65, 1_000, u32::MAX - 1, u32::MAX] {
+            assert_eq!(p.backoff(n), p.max_backoff, "retry_no={n}");
+        }
+        // Degenerate: a zero base never backs off regardless of retry_no.
+        let zero = RetryPolicy {
+            base_backoff: SimDuration::ZERO,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(zero.backoff(u32::MAX), SimDuration::ZERO);
     }
 
     #[test]

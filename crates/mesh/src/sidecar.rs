@@ -67,10 +67,14 @@ impl SidecarStats {
 }
 
 /// Provenance context remembered per in-flight inbound request.
+///
+/// Cloning is cheap by design — the hot path hands copies to the driver
+/// per hop, so the priority value is a shared `Arc<str>` rather than an
+/// owned `String`.
 #[derive(Clone, Debug)]
 pub struct InboundCtx {
     /// Priority header value, if the request carried one.
-    pub priority: Option<String>,
+    pub priority: Option<Arc<str>>,
     /// Trace id (created here if absent).
     pub trace: TraceId,
     /// The server span for this request (parent of child client spans).
@@ -333,7 +337,7 @@ impl Sidecar {
         req.headers.set(HDR_B3_SPAN_ID, span.0.to_string());
         let sampled = self.cfg.sampling.sample(now, self.rng.f64());
         let ctx = InboundCtx {
-            priority: req.headers.get(HDR_PRIORITY).map(str::to_string),
+            priority: req.headers.get(HDR_PRIORITY).map(Arc::from),
             trace,
             span,
             parent,
@@ -374,17 +378,23 @@ impl Sidecar {
         req: &mut Request,
         now: SimTime,
     ) -> Option<(TraceId, SpanId, SpanId)> {
-        let request_id = req.headers.get(HDR_REQUEST_ID)?.to_string();
-        let ctx = self.inflight.get(&request_id)?.clone();
-        let mut propagated = None;
-        if let Some(p) = &ctx.priority {
+        // Copy the scalars (and the shared priority Arc) out of the
+        // provenance entry so `req` can be mutated without cloning the
+        // whole context or the correlating id.
+        let (trace, span, priority) = {
+            let request_id = req.headers.get(HDR_REQUEST_ID)?;
+            let ctx = self.inflight.get(request_id)?;
+            (ctx.trace, ctx.span, ctx.priority.clone())
+        };
+        let mut propagated = false;
+        if let Some(p) = &priority {
             if !req.headers.contains(HDR_PRIORITY) {
-                req.headers.set(HDR_PRIORITY, p.clone());
+                req.headers.set(HDR_PRIORITY, p.as_ref());
                 self.stats.priority_propagated += 1;
-                propagated = Some(p.clone());
+                propagated = true;
             }
         }
-        req.headers.set(HDR_B3_TRACE_ID, ctx.trace.0.to_string());
+        req.headers.set(HDR_B3_TRACE_ID, trace.0.to_string());
         let child_span = SpanId(self.next_span);
         self.next_span += 1;
         req.headers.set(HDR_B3_SPAN_ID, child_span.0.to_string());
@@ -393,13 +403,17 @@ impl Sidecar {
                 &self.name,
                 now,
                 &Decision::Propagate {
-                    request_id: &request_id,
-                    trace: ctx.trace.0,
-                    priority: propagated.as_deref(),
+                    request_id: req.headers.get(HDR_REQUEST_ID).unwrap_or_default(),
+                    trace: trace.0,
+                    priority: if propagated {
+                        priority.as_deref()
+                    } else {
+                        None
+                    },
                 },
             );
         }
-        Some((ctx.trace, ctx.span, child_span))
+        Some((trace, span, child_span))
     }
 
     /// Route an outbound request: resolve the route table, narrow to
@@ -462,17 +476,22 @@ impl Sidecar {
             self.stats.fail_fast += 1;
             return fail(StatusCode::UNAVAILABLE, Some(&cluster), "no-endpoints");
         }
-        let policy = self.cfg.policy(&cluster).clone();
-        let up = self
-            .upstreams
-            .entry(cluster.clone())
-            .or_insert_with(|| Upstream {
-                lb: LoadBalancer::new(policy.lb),
-                breaker: CircuitBreaker::new(policy.breaker.clone()),
-                outlier: OutlierDetector::new(policy.outlier.clone()),
-                budget: RetryBudget::new(policy.retry.budget_ratio),
-                outstanding: HashMap::new(),
-            });
+        // First request to a cluster materializes its runtime state; the
+        // policy is only cloned on that cold path, not per request.
+        if !self.upstreams.contains_key(&cluster) {
+            let policy = self.cfg.policy(&cluster).clone();
+            self.upstreams.insert(
+                cluster.clone(),
+                Upstream {
+                    lb: LoadBalancer::new(policy.lb),
+                    breaker: CircuitBreaker::new(policy.breaker.clone()),
+                    outlier: OutlierDetector::new(policy.outlier.clone()),
+                    budget: RetryBudget::new(policy.retry.budget_ratio),
+                    outstanding: HashMap::new(),
+                },
+            );
+        }
+        let up = self.upstreams.get_mut(&cluster).expect("just ensured");
         if !up.breaker.try_admit(now) {
             self.stats.fail_fast += 1;
             return fail(
@@ -676,7 +695,7 @@ impl Sidecar {
                 ("status".into(), status.0.to_string()),
                 (
                     "priority".into(),
-                    ctx.priority.clone().unwrap_or_else(|| "-".into()),
+                    ctx.priority.as_deref().unwrap_or("-").to_string(),
                 ),
             ],
         }

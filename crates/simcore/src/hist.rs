@@ -343,4 +343,76 @@ mod tests {
         h.record(1_000_000);
         assert!(h.summary().contains("n=1"));
     }
+
+    /// Exact quantile of a sorted sample using the same 1-based ceil rank
+    /// rule as `value_at_quantile`.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let n = sorted.len() as u64;
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        sorted[(target - 1) as usize]
+    }
+
+    fn check_quantiles_against_exact(samples: &[u64]) -> Result<(), String> {
+        let mut h = Histogram::new();
+        for &v in samples {
+            h.record(v);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let got = h.value_at_quantile(q);
+            let rel = (got as f64 - exact as f64).abs() / (exact as f64).max(1.0);
+            if rel > 0.004 {
+                return Err(format!(
+                    "q={q}: histogram {got} vs exact {exact} (rel {rel:.5} > 0.004, n={})",
+                    sorted.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The documented accuracy contract: any quantile of any sample
+        /// set is within 0.4 % relative error of the exact sorted-sample
+        /// quantile (ties broken by the same ceil-rank rule).
+        #[test]
+        fn quantiles_track_exact_sorted_samples(
+            n in 1usize..400,
+            lo in 0u64..100_000,
+            span_exp in 0u32..30,
+            seed in 0u64..10_000,
+        ) {
+            // Xorshift samples across wildly different scales: `span_exp`
+            // sweeps from sub-bucket (exact) ranges up to multi-band ones.
+            let span = 1u64 << span_exp;
+            let mut x = seed.wrapping_mul(2_685_821_657_736_338_717).max(1);
+            let samples: Vec<u64> = (0..n)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    lo + x % span
+                })
+                .collect();
+            if let Err(e) = check_quantiles_against_exact(&samples) {
+                return Err(proptest::prelude::TestCaseError::fail(e));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_exact_on_degenerate_samples() {
+        // Single value: one occupied bucket, min == max.
+        for v in [0u64, 1, 255, 256, 1_000_003, u32::MAX as u64 * 7] {
+            check_quantiles_against_exact(&[v]).unwrap();
+        }
+        // Constant samples (min == max, many counts in one bucket).
+        check_quantiles_against_exact(&[42_000_000; 257]).unwrap();
+        // All samples inside one unit-width bucket band.
+        check_quantiles_against_exact(&(0..SUB_BUCKETS).map(|_| 7u64).collect::<Vec<_>>()).unwrap();
+    }
 }

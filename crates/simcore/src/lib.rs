@@ -31,13 +31,15 @@
 
 pub mod dist;
 pub mod event;
+pub mod fxmap;
 pub mod hist;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::Dist;
-pub use event::EventQueue;
+pub use event::{EventQueue, EVENT_QUEUE_IMPL};
+pub use fxmap::{FxHashMap, FxHashSet};
 pub use hist::Histogram;
 pub use rng::SimRng;
 pub use stats::{Ewma, Welford};

@@ -15,7 +15,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
   echo "== cargo test =="
-  cargo test --offline --workspace -q
+  # MESHLAYER_SECS caps the reproduction suite's per-scenario run
+  # lengths (tests/reproduction.rs honors it); 6 is the shortest length
+  # at which every directional margin still holds and cuts the suite's
+  # wall clock by ~25%.
+  MESHLAYER_SECS=6 cargo test --offline --workspace -q
 
   echo "== flight recorder: record/replay divergence smoke =="
   # Record a short canonical run, replay it, and require a clean
@@ -32,6 +36,14 @@ if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
     echo "ci: replay diverged" >&2
     exit 1
   fi
+
+  echo "== engine bench: smoke run + regression gate =="
+  # A 2-second macro bench of the event engine, gated against the
+  # checked-in baseline: fails if events/sec drops below 80% of
+  # BENCH_engine.json (see EXPERIMENTS.md, "Engine throughput").
+  MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=2 MESHLAYER_WARMUP=1 \
+    cargo run --offline --release -q -p meshlayer-bench --bin bench_engine -- \
+    --smoke --gate BENCH_engine.json
 fi
 
 echo "ci: all checks passed"

@@ -7,6 +7,24 @@ use meshlayer::core::{Simulation, XLayerConfig};
 use meshlayer::mesh::LbPolicy;
 use meshlayer::simcore::SimDuration;
 
+/// Run length for one scenario: its natural `default` seconds, capped
+/// by `MESHLAYER_SECS` when set so CI can trim every suite with one
+/// knob (see `scripts/ci.sh`, which uses 6 — the shortest length at
+/// which every directional margin below still holds). The floor of 4
+/// keeps a typo'd `MESHLAYER_SECS=1` from shrinking runs past their
+/// warmup.
+fn secs(default: u64) -> u64 {
+    match std::env::var("MESHLAYER_SECS") {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| {
+                panic!("MESHLAYER_SECS is set to {v:?}, which is not a valid unsigned integer")
+            })
+            .clamp(4, default),
+        Err(_) => default,
+    }
+}
+
 fn elib_run(rps: f64, xlayer: XLayerConfig, secs: u64) -> meshlayer::core::RunMetrics {
     let params = ElibraryParams {
         ls_rps: rps,
@@ -25,8 +43,8 @@ fn elib_run(rps: f64, xlayer: XLayerConfig, secs: u64) -> meshlayer::core::RunMe
 /// reduces latency-sensitive p99.
 #[test]
 fn fig4_direction_prioritization_helps_ls_tail() {
-    let base = elib_run(40.0, XLayerConfig::baseline(), 8);
-    let opt = elib_run(40.0, XLayerConfig::paper_prototype(), 8);
+    let base = elib_run(40.0, XLayerConfig::baseline(), secs(8));
+    let opt = elib_run(40.0, XLayerConfig::paper_prototype(), secs(8));
     let b = base.class("latency-sensitive").expect("baseline ls");
     let o = opt.class("latency-sensitive").expect("optimized ls");
     assert!(b.completed > 150 && o.completed > 150);
@@ -47,8 +65,8 @@ fn fig4_direction_prioritization_helps_ls_tail() {
 /// §4.3's side claim: batch p99 does not collapse under prioritization.
 #[test]
 fn t1_direction_batch_not_destroyed() {
-    let base = elib_run(30.0, XLayerConfig::baseline(), 8);
-    let opt = elib_run(30.0, XLayerConfig::paper_prototype(), 8);
+    let base = elib_run(30.0, XLayerConfig::baseline(), secs(8));
+    let opt = elib_run(30.0, XLayerConfig::paper_prototype(), secs(8));
     let b = base.class("batch-analytics").expect("baseline batch");
     let o = opt.class("batch-analytics").expect("optimized batch");
     // Short runs are tail-noisy; allow generous slack while still
@@ -69,7 +87,7 @@ fn t1_direction_batch_not_destroyed() {
 /// whole Fig 3 setup).
 #[test]
 fn bottleneck_is_the_ratings_uplink() {
-    let m = elib_run(40.0, XLayerConfig::baseline(), 6);
+    let m = elib_run(40.0, XLayerConfig::baseline(), secs(6));
     let bottleneck = m.link("ratings-1->switch").expect("bottleneck link");
     assert_eq!(bottleneck.rate_bps, 1_000_000_000);
     assert!(
@@ -101,7 +119,7 @@ fn a2_direction_scavenger_helps() {
         if scavenger {
             xl = xl.with_scavenger(meshlayer::transport::CcAlgo::Ledbat);
         }
-        elib_run(40.0, xl, 8)
+        elib_run(40.0, xl, secs(8))
     };
     let cubic = mk(false);
     let ledbat = mk(true);
@@ -122,7 +140,7 @@ fn a3_direction_ewma_routes_around_straggler() {
     let run = |policy: LbPolicy| {
         let mut spec = fanout(1, 1, 4, 2.0, 150.0);
         spec.mesh.default_policy.lb = policy;
-        spec.config.duration = SimDuration::from_secs(6);
+        spec.config.duration = SimDuration::from_secs(secs(6));
         spec.config.warmup = SimDuration::from_secs(1);
         let mut sim = Simulation::build(spec);
         let straggler = sim.cluster().endpoints("svc-c0-d0", None)[0];
@@ -143,7 +161,7 @@ fn a3_direction_ewma_routes_around_straggler() {
 fn ecommerce_scenario_serves_all_four_workloads() {
     let mut spec = ecommerce(20.0, 8.0);
     spec.xlayer = XLayerConfig::paper_prototype();
-    spec.config.duration = SimDuration::from_secs(6);
+    spec.config.duration = SimDuration::from_secs(secs(6));
     spec.config.warmup = SimDuration::from_secs(1);
     let m = Simulation::build(spec).run();
     for class in [
@@ -165,7 +183,7 @@ fn ecommerce_scenario_serves_all_four_workloads() {
 #[test]
 fn full_stack_determinism() {
     let run = || {
-        let m = elib_run(20.0, XLayerConfig::full(), 5);
+        let m = elib_run(20.0, XLayerConfig::full(), secs(5));
         (
             m.events,
             m.world.roots_ok,
@@ -191,7 +209,7 @@ fn a4_direction_hedging_cuts_tail() {
             }
         }
         spec.mesh.default_policy.hedge_after = hedge;
-        spec.config.duration = SimDuration::from_secs(8);
+        spec.config.duration = SimDuration::from_secs(secs(8));
         spec.config.warmup = SimDuration::from_secs(1);
         let m = Simulation::build(spec).run();
         (m.class("fanout").expect("class").p99_ms, m.world.hedges)
@@ -222,7 +240,7 @@ fn a5_direction_sdn_avoids_congested_link() {
         spec.network.default_rate_bps = 10_000_000_000;
         spec.network = spec.network.with_pod_rate("svc-c0-d0-1", 100_000_000);
         spec.xlayer.sdn_lb = sdn;
-        spec.config.duration = SimDuration::from_secs(6);
+        spec.config.duration = SimDuration::from_secs(secs(6));
         spec.config.warmup = SimDuration::from_secs(2);
         let m = Simulation::build(spec).run();
         m.class("fanout").expect("class").p90_ms
