@@ -111,6 +111,19 @@ impl PodCompute {
         next
     }
 
+    /// Whether band 0 is currently served strictly before band 1.
+    pub fn priority_aware(&self) -> bool {
+        self.cfg.priority_aware
+    }
+
+    /// Flip priority-awareness at runtime (the policy plane's (a)-extension
+    /// toggle). Jobs already queued keep the band they were enqueued in;
+    /// only future [`PodCompute::offer`] calls classify under the new
+    /// setting, so no queued work is reordered or lost by the transition.
+    pub fn set_priority_aware(&mut self, on: bool) {
+        self.cfg.priority_aware = on;
+    }
+
     /// Jobs currently executing.
     pub fn running(&self) -> u32 {
         self.running
@@ -206,6 +219,23 @@ mod tests {
         p.offer(1, false);
         p.offer(2, true);
         assert_eq!(p.on_complete(), Some(1), "FIFO when priority_aware=false");
+    }
+
+    #[test]
+    fn runtime_priority_flip_affects_only_new_offers() {
+        let mut p = pod(1, 10, false);
+        p.offer(0, false); // running
+        p.offer(1, true); // high, but FIFO band while disabled
+        assert!(!p.priority_aware());
+        p.set_priority_aware(true);
+        assert!(p.priority_aware());
+        p.offer(2, true); // high band from now on
+        p.offer(3, false); // low band
+                           // Job 1 stays in the band it was enqueued in (no reordering), so
+                           // the post-flip high job drains first, then the pre-flip queue.
+        assert_eq!(p.on_complete(), Some(2));
+        assert_eq!(p.on_complete(), Some(1));
+        assert_eq!(p.on_complete(), Some(3));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod metrics;
 pub mod netplan;
+pub mod policy;
 pub mod provenance;
 pub mod sdn;
 pub mod sim;
@@ -42,6 +43,10 @@ pub mod xlayer;
 
 pub use metrics::{EvProfile, LinkReport, PodReport, RunMetrics, TransportReport};
 pub use netplan::{Fabric, NetworkPlan};
+pub use policy::{
+    AdaptationConfig, AdaptationController, ApplyPolicy, FabricPrioSurface, HostTcSurface,
+    PolicyCtx, PolicyLayer, PolicyPlane, PolicySnapshot, PolicyTransition,
+};
 pub use provenance::{request_priority, Classifier, Priority};
 pub use sdn::SdnController;
 pub use sim::{FlightOutcome, SimConfig, SimSpec, Simulation, INGRESS_SERVICE};

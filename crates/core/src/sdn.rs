@@ -49,7 +49,10 @@ impl SdnController {
             let id = link.id();
             let bytes = link.stats().tx_bytes;
             let prev = self.last_bytes.get(&id).copied().unwrap_or(0);
-            let util = ((bytes - prev) as f64 * 8.0) / (link.rate_bps() as f64 * dt);
+            // A topology rebuild (or a future counter wrap) can make the
+            // lifetime counter go backwards; treat that window as idle
+            // rather than panicking on underflow in debug builds.
+            let util = (bytes.saturating_sub(prev) as f64 * 8.0) / (link.rate_bps() as f64 * dt);
             self.utilization.insert(id, util.min(1.0));
             self.last_bytes.insert(id, bytes);
         }
@@ -87,6 +90,16 @@ impl SdnController {
         } else {
             ok
         }
+    }
+
+    /// Number of links whose latest windowed utilization exceeds the
+    /// congestion threshold — the fleet-wide signal the adaptation
+    /// controller reads.
+    pub fn congested_links(&self) -> usize {
+        self.utilization
+            .values()
+            .filter(|&&u| u > self.threshold)
+            .count()
     }
 
     /// Number of observation windows completed.
@@ -178,6 +191,28 @@ mod tests {
         assert!(!sdn.pod_congested(&f, pods[0]));
         // The t=0 observe is a no-op (zero-length window): 2 windows total.
         assert_eq!(sdn.observations(), 2);
+    }
+
+    #[test]
+    fn counter_reset_reads_as_idle_window() {
+        let (c, mut f) = fabric_with_two_pods();
+        let pods = c.endpoints("svc", None);
+        let mut sdn = SdnController::new(0.5);
+        sdn.observe(&f, SimTime::ZERO);
+        busy_uplink(&mut f, pods[0], 120, SimTime::ZERO);
+        sdn.observe(&f, SimTime::from_secs(1));
+        assert!(sdn.pod_congested(&f, pods[0]));
+        // Rebuild the fabric: same topology, fresh zeroed link counters.
+        // The next window's `bytes - prev` would underflow (and panic in
+        // debug builds) without the saturating delta.
+        let plan = NetworkPlan {
+            default_rate_bps: 1_000_000,
+            ..NetworkPlan::default()
+        };
+        let f2 = Fabric::build(&c, &plan);
+        sdn.observe(&f2, SimTime::from_secs(2));
+        assert!(!sdn.pod_congested(&f2, pods[0]), "reset window reads idle");
+        assert_eq!(sdn.utilization(f2.uplink(pods[0])), 0.0);
     }
 
     #[test]

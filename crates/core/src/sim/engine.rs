@@ -15,7 +15,8 @@ impl Simulation {
                 self.queue.push(at, Ev::Arrival { gen });
             }
         }
-        if self.spec.xlayer.sdn_lb {
+        if self.live.sdn_lb {
+            self.sdn_armed = true;
             let t = SimTime::ZERO + self.spec.config.sdn_tick;
             self.queue.push(t, Ev::SdnTick);
         }
@@ -85,6 +86,12 @@ impl Simulation {
             Ev::SdnTick => self.on_sdn_tick(now),
             Ev::ControlTick => self.on_control_tick(now),
             Ev::TelemetryTick => self.on_telemetry_tick(now),
+            Ev::PolicyPush { version } => self.on_policy_push(version, now),
+            Ev::PolicyApply {
+                version,
+                layer,
+                pod,
+            } => self.on_policy_apply(version, layer, pod, now),
         }
     }
 
@@ -114,7 +121,15 @@ impl Simulation {
                 self.scrape.links.insert(l.id(), (busy, drops));
                 let util =
                     (busy.saturating_sub(prev_busy) as f64 / elapsed_ns as f64).clamp(0.0, 1.0);
-                (l.id(), name, util, l.queue_len(), drops - prev_drops)
+                // A policy apply that swaps the qdisc resets the drop
+                // counter; read that window as zero drops, not underflow.
+                (
+                    l.id(),
+                    name,
+                    util,
+                    l.queue_len(),
+                    drops.saturating_sub(prev_drops),
+                )
             })
             .collect();
         for (_, name, util, queue, drops) in link_samples {
@@ -162,6 +177,39 @@ impl Simulation {
         }
 
         self.telemetry.on_scrape(now);
+
+        // Policy-plane observability, sampled *after* the SLO evaluation so
+        // a fire/clear at this scrape is visible in the same interval.
+        self.telemetry.scrape_gauge(
+            GaugeKind::PolicyVersion,
+            "fleet",
+            now,
+            self.policy.converged_version() as f64,
+        );
+        let classes = self.telemetry.slo_classes();
+        for class in classes {
+            let burning = self.telemetry.burning(&class);
+            self.telemetry.scrape_gauge(
+                GaugeKind::SloBurning,
+                &class,
+                now,
+                if burning { 1.0 } else { 0.0 },
+            );
+        }
+
+        // The closed loop: the adaptation controller reads the fresh burn
+        // state (and the SDN congestion view) and may propose a policy.
+        let proposal = if let Some(ad) = self.adapt.as_mut() {
+            let burning = self.telemetry.burning(ad.watch_class());
+            let congested = self.sdn.congested_links() > 0;
+            ad.on_scrape(burning, congested)
+        } else {
+            None
+        };
+        if let Some((cfg, share, reason)) = proposal {
+            self.schedule_policy_change_with(now, cfg, share, &reason);
+        }
+
         self.scrape.last_at = now;
         let next = now + self.telemetry.interval();
         if next < self.end_at {

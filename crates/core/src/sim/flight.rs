@@ -46,6 +46,8 @@ impl Ev {
             Ev::SdnTick => 13,
             Ev::ControlTick => 14,
             Ev::TelemetryTick => 15,
+            Ev::PolicyPush { .. } => 16,
+            Ev::PolicyApply { .. } => 17,
         }
     }
 }
@@ -108,6 +110,16 @@ fn fold_event(state: u64, seq: u64, t: SimTime, ev: &Ev) -> u64 {
         }
         Ev::RpcTimeout { rpc } | Ev::RetryFire { rpc } => fold_u64(d, *rpc),
         Ev::SdnTick | Ev::ControlTick | Ev::TelemetryTick => d,
+        Ev::PolicyPush { version } => fold_u64(d, *version),
+        Ev::PolicyApply {
+            version,
+            layer,
+            pod,
+        } => {
+            d = fold_u64(d, *version);
+            d = fold_bytes(d, &[*layer]);
+            fold_u64(d, *pod as u64)
+        }
     }
 }
 

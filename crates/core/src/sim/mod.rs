@@ -20,15 +20,17 @@
 mod engine;
 mod exec;
 mod flight;
+mod policy_rt;
 mod rpc;
 
 pub use flight::FlightOutcome;
 
 use crate::netplan::{Fabric, NetworkPlan};
+use crate::policy::{AdaptationConfig, AdaptationController, PolicyPlane};
 use crate::provenance::{Classifier, Priority};
 use crate::xlayer::{self, XLayerConfig};
 use meshlayer_cluster::{Cluster, PodId, ServiceSpec};
-use meshlayer_http::{Request, Response, RouteRule, StatusCode};
+use meshlayer_http::{Request, Response, RouteRule, RouteTable, StatusCode};
 use meshlayer_mesh::SidecarStats;
 use meshlayer_mesh::{ControlPlane, InboundCtx, MeshConfig, Sidecar, SpanId, TraceId, Tracer};
 use meshlayer_netsim::{LinkId, NodeId, Packet};
@@ -69,6 +71,10 @@ pub struct SimConfig {
     /// Control-plane housekeeping period: telemetry reports + certificate
     /// rotation.
     pub control_tick: SimDuration,
+    /// Base propagation delay for a policy push: each layer applies this
+    /// long after the push (sidecars add deterministic per-pod jitter on
+    /// top, xDS-style staggered convergence).
+    pub policy_push_delay: SimDuration,
     /// Time-series telemetry: scrape interval and SLO targets.
     pub telemetry: TelemetryConfig,
 }
@@ -90,6 +96,7 @@ impl Default for SimConfig {
             conns_per_pair: 4,
             sdn_tick: SimDuration::from_millis(50),
             control_tick: SimDuration::from_secs(1),
+            policy_push_delay: SimDuration::from_millis(10),
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -112,6 +119,10 @@ pub struct SimSpec {
     pub config: SimConfig,
     /// Base mesh configuration (routes are filled in by the builder).
     pub mesh: MeshConfig,
+    /// Closed-loop adaptation: when set, the control plane watches this
+    /// SLO class's burn alert (and the SDN congestion view) each telemetry
+    /// scrape and pushes the configured policy when it fires.
+    pub adaptation: Option<AdaptationConfig>,
 }
 
 impl SimSpec {
@@ -126,6 +137,7 @@ impl SimSpec {
             xlayer: XLayerConfig::baseline(),
             config: SimConfig::default(),
             mesh: MeshConfig::default(),
+            adaptation: None,
         }
     }
 }
@@ -182,11 +194,18 @@ pub(crate) enum Ev {
     /// Telemetry scrape: sample links, pods, and sidecars into the
     /// time-series hub and roll latency intervals forward.
     TelemetryTick,
+    /// The control plane starts pushing policy snapshot `version`: render
+    /// the mesh config and fan out per-layer applies.
+    PolicyPush { version: u64 },
+    /// One layer applies policy snapshot `version`. `layer` is a
+    /// [`crate::PolicyLayer`] code; `pod` is the applying sidecar for the
+    /// mesh layer, `u32::MAX` for fleet-wide layers.
+    PolicyApply { version: u64, layer: u8, pod: u32 },
 }
 
 impl Ev {
     /// Number of variants ([`Ev::code`] is `0..COUNT`).
-    pub(crate) const COUNT: usize = 16;
+    pub(crate) const COUNT: usize = 18;
 
     /// Variant names, indexed by [`Ev::code`] — for the per-event
     /// profiling counters.
@@ -207,6 +226,8 @@ impl Ev {
         "SdnTick",
         "ControlTick",
         "TelemetryTick",
+        "PolicyPush",
+        "PolicyApply",
     ];
 
     /// Variant name, for the per-event profiling counters.
@@ -351,6 +372,9 @@ pub(crate) struct ConnPair {
     pub b_pod: PodId,
     pub a: Conn,
     pub b: Conn,
+    /// Transport class the pair was pooled under (0 = high, 1 = low) —
+    /// policy pushes re-derive DSCP/CC for live connections from it.
+    pub class: u8,
     /// Highest timer generation already scheduled, per direction.
     pub scheduled_gen: [u64; 2],
 }
@@ -383,6 +407,20 @@ pub struct WorldStats {
 /// The fully wired world (see module docs).
 pub struct Simulation {
     pub(crate) spec: SimSpec,
+    /// The *live* cross-layer configuration: starts as `spec.xlayer`
+    /// (policy v1, applied at construction) and changes only through
+    /// policy-apply events. Hot paths read this, never `spec.xlayer`.
+    pub(crate) live: XLayerConfig,
+    /// Passthrough routes as built, before any priority rules — the base
+    /// every policy rebuild starts from.
+    pub(crate) base_routes: RouteTable,
+    /// Versioned policy history + push/ack state.
+    pub(crate) policy: PolicyPlane,
+    /// Closed-loop adaptation controller, when configured.
+    pub(crate) adapt: Option<AdaptationController>,
+    /// Whether the SdnTick chain has been seeded (at build or by a policy
+    /// enabling `sdn_lb` mid-run).
+    pub(crate) sdn_armed: bool,
     pub(crate) cluster: Cluster,
     pub(crate) fabric: Fabric,
     pub(crate) control: ControlPlane,
@@ -449,6 +487,8 @@ impl Simulation {
         for svc in &spec.services {
             mesh.routes.push(RouteRule::passthrough(svc.name.clone()));
         }
+        // Keep the passthrough-only table: policy pushes rebuild from it.
+        let base_routes = mesh.routes.clone();
         if spec.xlayer.mesh_subset_routing {
             xlayer::install_priority_routes(&mut mesh.routes, &cluster);
         }
@@ -530,8 +570,17 @@ impl Simulation {
         );
         let telemetry = TelemetryHub::new(spec.config.telemetry.clone());
 
+        let live = spec.xlayer;
+        let policy = PolicyPlane::new(live, xlayer::HIGH_PRIO_SHARE, spec.network.queue_pkts);
+        let adapt = spec.adaptation.clone().map(AdaptationController::new);
+
         Simulation {
             spec,
+            live,
+            base_routes,
+            policy,
+            adapt,
+            sdn_armed: false,
             cluster,
             fabric,
             control,
@@ -607,6 +656,44 @@ impl Simulation {
         &self.sdn
     }
 
+    /// The policy plane: version history, transitions, convergence state.
+    pub fn policy(&self) -> &PolicyPlane {
+        &self.policy
+    }
+
+    /// The live cross-layer configuration (policy-applied, not the spec).
+    pub fn live_xlayer(&self) -> &XLayerConfig {
+        &self.live
+    }
+
+    /// Schedule a runtime policy change: at simulated time `at` the
+    /// control plane pushes a new snapshot with the given toggles (and the
+    /// default TC share) to every layer. Returns the new version.
+    pub fn schedule_policy_change(
+        &mut self,
+        at: SimTime,
+        config: XLayerConfig,
+        reason: &str,
+    ) -> u64 {
+        self.schedule_policy_change_with(at, config, xlayer::HIGH_PRIO_SHARE, reason)
+    }
+
+    /// [`Simulation::schedule_policy_change`] with an explicit high-class
+    /// TC bandwidth share.
+    pub fn schedule_policy_change_with(
+        &mut self,
+        at: SimTime,
+        config: XLayerConfig,
+        high_share: f64,
+        reason: &str,
+    ) -> u64 {
+        let version =
+            self.policy
+                .propose(config, high_share, self.spec.network.queue_pkts, at, reason);
+        self.queue.push(at, Ev::PolicyPush { version });
+        version
+    }
+
     /// The latency recorder.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
@@ -645,8 +732,7 @@ impl Simulation {
     /// transport class, returning `(conn id, direction for x)`.
     pub(crate) fn conn_for(&mut self, x: PodId, y: PodId, priority: Priority) -> (u64, u8) {
         let (class, dscp, cc) = self
-            .spec
-            .xlayer
+            .live
             .transport_class(priority, self.spec.config.default_cc);
         let (a, b) = if x.0 <= y.0 { (x, y) } else { (y, x) };
         // Rotate across the connection pool for this pair+class.
@@ -682,6 +768,7 @@ impl Simulation {
                         b_pod: b,
                         a: conn_a,
                         b: conn_b,
+                        class,
                         scheduled_gen: [0, 0],
                     },
                 );

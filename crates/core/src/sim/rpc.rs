@@ -21,7 +21,7 @@ impl Simulation {
         }
         let mut req = gr.request;
         // §4.3 step 1: classify at the ingress and stamp the header.
-        if self.spec.xlayer.classify {
+        if self.live.classify {
             let classifier = self.spec.classifier.clone();
             classifier.stamp(&mut req);
         }
@@ -73,7 +73,7 @@ impl Simulation {
             let cluster = &self.cluster;
             let fabric = &self.fabric;
             let sdn = &self.sdn;
-            let sdn_lb = self.spec.xlayer.sdn_lb;
+            let sdn_lb = self.live.sdn_lb;
             let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
             // §4.3 step 2: copy priority/trace onto the child request.
             let annotated = sc.annotate_outbound(&mut req, now);
@@ -377,7 +377,7 @@ impl Simulation {
         let cluster = &self.cluster;
         let fabric = &self.fabric;
         let sdn = &self.sdn;
-        let sdn_lb = self.spec.xlayer.sdn_lb;
+        let sdn_lb = self.live.sdn_lb;
         let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
         sc.route_outbound(
             req,

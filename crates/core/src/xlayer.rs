@@ -22,7 +22,9 @@ use crate::netplan::Fabric;
 use crate::provenance::Priority;
 use meshlayer_cluster::Cluster;
 use meshlayer_http::{HeaderMatch, RouteRule, RouteTable, RouteTarget, HDR_PRIORITY};
-use meshlayer_netsim::{ClassId, FilterMatch, HtbClass, HtbLite, DSCP_BATCH, DSCP_LATENCY};
+use meshlayer_netsim::{
+    ClassId, DropTail, FilterMatch, HtbClass, HtbLite, DSCP_BATCH, DSCP_LATENCY,
+};
 use meshlayer_simcore::SimTime;
 use meshlayer_transport::CcAlgo;
 use serde::{Deserialize, Serialize};
@@ -210,6 +212,19 @@ pub fn install_host_tc(
     queue_pkts: usize,
     now: SimTime,
 ) -> usize {
+    install_host_tc_with_share(fabric, cluster, queue_pkts, HIGH_PRIO_SHARE, now)
+}
+
+/// [`install_host_tc`] with an explicit high-class bandwidth share — the
+/// policy plane pushes the share as part of a [`crate::PolicySnapshot`].
+pub fn install_host_tc_with_share(
+    fabric: &mut Fabric,
+    cluster: &Cluster,
+    queue_pkts: usize,
+    share: f64,
+    now: SimTime,
+) -> usize {
+    let share = share.clamp(0.01, 0.99);
     let high_ips = high_subset_ips(cluster);
     let pods: Vec<_> = cluster.pods().map(|p| p.id).collect();
     let mut installed = 0;
@@ -217,7 +232,7 @@ pub fn install_host_tc(
         let link_id = fabric.uplink(pod);
         let link = fabric.topology.link_mut(link_id);
         let rate = link.rate_bps();
-        let high_rate = (rate as f64 * HIGH_PRIO_SHARE) as u64;
+        let high_rate = (rate as f64 * share) as u64;
         let qdisc = HtbLite::new(vec![
             HtbClass {
                 limit_pkts: queue_pkts,
@@ -256,13 +271,25 @@ pub fn install_net_prio(
     queue_pkts: usize,
     now: SimTime,
 ) -> usize {
+    install_net_prio_with_share(fabric, cluster, queue_pkts, HIGH_PRIO_SHARE, now)
+}
+
+/// [`install_net_prio`] with an explicit high-class bandwidth share.
+pub fn install_net_prio_with_share(
+    fabric: &mut Fabric,
+    cluster: &Cluster,
+    queue_pkts: usize,
+    share: f64,
+    now: SimTime,
+) -> usize {
+    let share = share.clamp(0.01, 0.99);
     let pods: Vec<_> = cluster.pods().map(|p| p.id).collect();
     let mut installed = 0;
     for pod in pods {
         let link_id = fabric.downlink(pod);
         let link = fabric.topology.link_mut(link_id);
         let rate = link.rate_bps();
-        let high_rate = (rate as f64 * HIGH_PRIO_SHARE) as u64;
+        let high_rate = (rate as f64 * share) as u64;
         let qdisc = HtbLite::new(vec![
             HtbClass {
                 limit_pkts: queue_pkts,
@@ -282,6 +309,53 @@ pub fn install_net_prio(
         installed += 1;
     }
     installed
+}
+
+/// Tear the (c) host TC configuration back down to the default drop-tail
+/// qdisc with no filters (the baseline). Queued packets are preserved by
+/// the qdisc swap. Returns the number of links reset.
+pub fn reset_host_tc(
+    fabric: &mut Fabric,
+    cluster: &Cluster,
+    queue_pkts: usize,
+    now: SimTime,
+) -> usize {
+    let pods: Vec<_> = cluster.pods().map(|p| p.id).collect();
+    let mut reset = 0;
+    for pod in pods {
+        let link_id = fabric.uplink(pod);
+        let link = fabric.topology.link_mut(link_id);
+        link.set_qdisc(Box::new(DropTail::new(queue_pkts)), now);
+        let tc = link.tc_mut();
+        tc.clear();
+        // `clear` drops filters and DSCP mappings but not the default
+        // class; restore the baseline band explicitly.
+        tc.set_default_class(ClassId(0));
+        reset += 1;
+    }
+    reset
+}
+
+/// Tear the (d) fabric priority queues back down to drop-tail. Returns the
+/// number of links reset.
+pub fn reset_net_prio(
+    fabric: &mut Fabric,
+    cluster: &Cluster,
+    queue_pkts: usize,
+    now: SimTime,
+) -> usize {
+    let pods: Vec<_> = cluster.pods().map(|p| p.id).collect();
+    let mut reset = 0;
+    for pod in pods {
+        let link_id = fabric.downlink(pod);
+        let link = fabric.topology.link_mut(link_id);
+        link.set_qdisc(Box::new(DropTail::new(queue_pkts)), now);
+        let tc = link.tc_mut();
+        tc.clear();
+        tc.set_default_class(ClassId(0));
+        reset += 1;
+    }
+    reset
 }
 
 /// The pod IPs of every replica in a `high` subset, across all services.
@@ -433,6 +507,25 @@ mod tests {
     #[allow(non_snake_case)]
     fn NodeIdOf(n: u32) -> meshlayer_netsim::NodeId {
         meshlayer_netsim::NodeId(n)
+    }
+
+    #[test]
+    fn host_tc_reset_restores_baseline() {
+        let c = cluster_with_priority_reviews();
+        let mut fabric = Fabric::build(&c, &NetworkPlan::default());
+        install_host_tc_with_share(&mut fabric, &c, 512, 0.8, SimTime::ZERO);
+        let ratings = c.endpoints("ratings", None)[0];
+        let up = fabric.uplink(ratings);
+        assert!(!fabric.topology.link(up).tc().is_empty());
+
+        let n = reset_host_tc(&mut fabric, &c, 512, SimTime::ZERO);
+        assert_eq!(n, c.pod_count());
+        let tc = fabric.topology.link(up).tc();
+        assert!(tc.is_empty());
+        // Untagged and tagged packets alike land in the default band 0.
+        let pkt =
+            meshlayer_netsim::Packet::data(1, NodeIdOf(0), NodeIdOf(1), 1, 0, 100, DSCP_LATENCY);
+        assert_eq!(tc.classify(&pkt), ClassId(0));
     }
 
     #[test]

@@ -168,3 +168,99 @@ fn control_plane_tick_collects_fleet_telemetry() {
     let fleet = sim.control().fleet_telemetry();
     assert!(fleet.inbound_requests > 0);
 }
+
+#[test]
+fn mid_run_policy_flip_applies_and_converges() {
+    let mut sim = Simulation::build(tiny_spec(30.0, 6));
+    assert_eq!(sim.policy().converged_version(), 1);
+    let v = sim.schedule_policy_change(
+        meshlayer_simcore::SimTime::from_secs(2),
+        XLayerConfig::paper_prototype(),
+        "scheduled",
+    );
+    assert_eq!(v, 2);
+    let m = sim.run();
+    assert_eq!(m.world.roots_failed, 0, "{:?}", m.world);
+    // Every layer acked: the transition converged shortly after the push.
+    assert_eq!(sim.policy().converged_version(), 2);
+    let t = &sim.policy().transitions()[0];
+    assert_eq!(t.version, 2);
+    assert_eq!(t.reason, "scheduled");
+    let converged = t.converged_at.expect("converged");
+    assert!(converged >= meshlayer_simcore::SimTime::from_secs(2));
+    assert!(
+        converged < meshlayer_simcore::SimTime::from_secs(3),
+        "{converged:?}"
+    );
+    // The live config is now the prototype; the spec is untouched.
+    let live = sim.live_xlayer();
+    assert!(live.classify && live.mesh_subset_routing && live.host_tc);
+    assert_ne!(*live, XLayerConfig::baseline());
+}
+
+#[test]
+fn mid_run_policy_flip_records_and_replays_with_zero_divergence() {
+    let dir = std::env::temp_dir().join("meshlayer-e2e-policy");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("flip-{}.mlflight", std::process::id()));
+
+    let flip_at = meshlayer_simcore::SimTime::from_secs(2);
+    let build = || {
+        let mut sim = Simulation::build(tiny_spec(30.0, 5));
+        sim.schedule_policy_change(flip_at, XLayerConfig::full(), "e2e-flip");
+        sim
+    };
+
+    let mut rec = build();
+    rec.record_to("policy-flip", &path).unwrap();
+    rec.run();
+    match rec.take_flight_outcome() {
+        Some(meshlayer_core::FlightOutcome::Recorded(c)) => {
+            assert!(c.events > 0 && c.decisions > 0)
+        }
+        other => panic!("expected Recorded, got {other:?}"),
+    }
+
+    // The capture holds a policy-apply frame per sidecar plus one per
+    // fleet-wide layer (4 pods + 4 layers here), all tagged version 2.
+    let log = meshlayer_flightrec::FlightLog::load(&path).unwrap();
+    let applies: Vec<_> = log
+        .decisions
+        .iter()
+        .filter(|d| d.kind == meshlayer_flightrec::DecisionKind::PolicyApply.code())
+        .collect();
+    assert_eq!(applies.len(), 8, "4 sidecars + 4 global layers");
+    assert!(applies.iter().all(|d| d.trace == 2));
+    for layer in ["mesh", "transport", "host-tc", "fabric", "compute"] {
+        assert!(
+            applies.iter().any(|d| d.cluster == layer),
+            "missing {layer} apply"
+        );
+    }
+    assert!(applies.iter().all(|d| d.t_ns > flip_at.as_nanos()));
+
+    // Replaying the same spec + schedule reproduces the event stream
+    // bit-for-bit, including the policy events.
+    let mut rep = build();
+    rep.replay_from(&path).unwrap();
+    rep.run();
+    match rep.take_flight_outcome() {
+        Some(meshlayer_core::FlightOutcome::Replayed(r)) => {
+            assert!(r.ok(), "diverged: {:?}", r.divergence)
+        }
+        other => panic!("expected Replayed, got {other:?}"),
+    }
+
+    // A run *without* the flip must diverge against the capture:
+    // control-plane drift is caught exactly like data-plane drift.
+    let mut bad = Simulation::build(tiny_spec(30.0, 5));
+    bad.replay_from(&path).unwrap();
+    bad.run();
+    match bad.take_flight_outcome() {
+        Some(meshlayer_core::FlightOutcome::Replayed(r)) => {
+            assert!(!r.ok(), "missing flip must diverge")
+        }
+        other => panic!("expected Replayed, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}

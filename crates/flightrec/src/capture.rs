@@ -181,6 +181,31 @@ impl FlightRecorder {
         });
     }
 
+    /// Record a policy-plane snapshot being applied at one layer. The
+    /// snapshot `version` rides in the `trace` field (both are `u64`
+    /// correlation keys) and the layer label in `cluster`, so the frame
+    /// reuses the fixed decision layout. `pod` is the applying sidecar's
+    /// pod, or a control-plane label for fleet-wide layers.
+    pub fn record_policy_apply(
+        &self,
+        pod: &str,
+        now: SimTime,
+        version: u64,
+        layer: &str,
+        detail: &str,
+    ) {
+        self.push_decision(DecisionRecord {
+            t_ns: now.as_nanos(),
+            kind: DecisionKind::PolicyApply.code(),
+            trace: version,
+            chosen: NO_POD,
+            pod: pod.to_string(),
+            request_id: String::new(),
+            cluster: layer.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
     /// Write the final totals frame.
     pub fn record_end(&self, events: u64, digest: u64) {
         self.inner

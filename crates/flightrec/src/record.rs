@@ -122,6 +122,8 @@ pub enum DecisionKind {
     RetryDenied = 5,
     /// Root request completed (final status known).
     RootDone = 6,
+    /// A policy-plane snapshot version was applied at one layer.
+    PolicyApply = 7,
 }
 
 impl DecisionKind {
@@ -140,6 +142,7 @@ impl DecisionKind {
             4 => DecisionKind::Retry,
             5 => DecisionKind::RetryDenied,
             6 => DecisionKind::RootDone,
+            7 => DecisionKind::PolicyApply,
             _ => return None,
         })
     }
@@ -154,6 +157,7 @@ impl DecisionKind {
             DecisionKind::Retry => "retry",
             DecisionKind::RetryDenied => "retry-denied",
             DecisionKind::RootDone => "root-done",
+            DecisionKind::PolicyApply => "policy-apply",
         }
     }
 }
@@ -553,6 +557,7 @@ mod tests {
             DecisionKind::Retry,
             DecisionKind::RetryDenied,
             DecisionKind::RootDone,
+            DecisionKind::PolicyApply,
         ] {
             assert_eq!(DecisionKind::from_code(k.code()), Some(k));
         }

@@ -202,6 +202,46 @@ mod tests {
     }
 
     #[test]
+    fn valid_at_expiry_boundary_is_exclusive() {
+        let mut cp = ControlPlane::new(MeshConfig::default());
+        let t0 = SimTime::from_secs(10);
+        let cert = cp.issue_cert(PodId(0), "svc", t0);
+        // Issuance is inclusive, expiry is exclusive: a cert presented at
+        // exactly `expires_at` must be rejected (TLS notAfter semantics),
+        // one nanosecond earlier must pass.
+        assert!(cert.valid_at(cert.issued_at));
+        assert!(cert.valid_at(SimTime::from_nanos(cert.expires_at.as_nanos() - 1)));
+        assert!(!cert.valid_at(cert.expires_at));
+    }
+
+    #[test]
+    fn serials_stay_monotonic_across_bulk_rotation() {
+        let mut cp = ControlPlane::new(MeshConfig::default());
+        let mut seen = Vec::new();
+        for pod in 0..3 {
+            seen.push(cp.issue_cert(PodId(pod), "svc", SimTime::ZERO).serial);
+        }
+        // Two rotation sweeps that each renew the whole fleet.
+        for round in 1..=2u64 {
+            let now = SimTime::from_secs(round * 23 * 3600);
+            let rotated = cp.rotate_expiring(now, SimDuration::from_secs(2 * 3600));
+            assert_eq!(rotated, 3, "round {round} renews every cert");
+            for pod in 0..3 {
+                seen.push(cp.cert(PodId(pod)).unwrap().serial);
+            }
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "no serial reuse: {seen:?}");
+        // Each sweep's serials are strictly above every earlier one.
+        for (i, w) in seen.chunks(3).enumerate().skip(1) {
+            let prev_max = seen[..i * 3].iter().max().unwrap();
+            assert!(w.iter().all(|s| s > prev_max), "{seen:?}");
+        }
+    }
+
+    #[test]
     fn telemetry_merge() {
         let mut cp = ControlPlane::new(MeshConfig::default());
         let a = SidecarStats {
@@ -226,6 +266,19 @@ mod tests {
             ..SidecarStats::default()
         };
         cp.report_telemetry("s1", a2);
+        assert_eq!(cp.fleet_telemetry().inbound_requests, 16);
+        assert_eq!(cp.telemetry().len(), 2);
+        // Counters absent from the newest report are gone, not sticky:
+        // s1's earlier retries must not survive the replacement.
+        assert_eq!(cp.fleet_telemetry().retries, 0);
+        // A third report keeps the merge idempotent per sidecar.
+        cp.report_telemetry(
+            "s1",
+            SidecarStats {
+                inbound_requests: 11,
+                ..SidecarStats::default()
+            },
+        );
         assert_eq!(cp.fleet_telemetry().inbound_requests, 16);
         assert_eq!(cp.telemetry().len(), 2);
     }

@@ -33,6 +33,10 @@ pub enum GaugeKind {
     SidecarFailFast,
     /// Sidecar 5xx responses since the last scrape (`sidecar_5xx`).
     Sidecar5xx,
+    /// Policy snapshot version applied fleet-wide (`policy_version`).
+    PolicyVersion,
+    /// Whether a class's SLO burn alert is firing, 0/1 (`slo_burning`).
+    SloBurning,
 }
 
 impl GaugeKind {
@@ -47,6 +51,8 @@ impl GaugeKind {
             GaugeKind::SidecarRetries => "sidecar_retries",
             GaugeKind::SidecarFailFast => "sidecar_fail_fast",
             GaugeKind::Sidecar5xx => "sidecar_5xx",
+            GaugeKind::PolicyVersion => "policy_version",
+            GaugeKind::SloBurning => "slo_burning",
         }
     }
 }
@@ -187,6 +193,20 @@ impl TelemetryHub {
     /// Alerts fired so far.
     pub fn alerts(&self) -> &[Alert] {
         self.slo.alerts()
+    }
+
+    /// Whether `class`'s SLO alert is firing as of the last scrape.
+    pub fn burning(&self, class: &str) -> bool {
+        self.slo.burning(class)
+    }
+
+    /// The monitored SLO classes, in target order.
+    pub fn slo_classes(&self) -> Vec<String> {
+        self.config
+            .targets
+            .iter()
+            .map(|t| t.class.clone())
+            .collect()
     }
 
     /// Close all series and render the summary.

@@ -197,6 +197,15 @@ impl SloMonitor {
         &self.alerts
     }
 
+    /// Whether `class`'s alert is currently firing (fired and not yet
+    /// cleared as of the last [`SloMonitor::evaluate`]). This is the live
+    /// fire/clear signal: [`SloMonitor::alerts`] records fires only.
+    pub fn burning(&self, class: &str) -> bool {
+        self.targets
+            .iter()
+            .any(|t| t.target.class == class && t.active)
+    }
+
     /// Consume the monitor, returning the fired alerts.
     pub fn into_alerts(self) -> Vec<Alert> {
         self.alerts

@@ -244,6 +244,25 @@ impl Conn {
         self.cc.name()
     }
 
+    /// The DSCP tag stamped on outgoing packets.
+    pub fn dscp(&self) -> u8 {
+        self.cfg.dscp
+    }
+
+    /// Re-profile a live connection: change the DSCP tag on future packets
+    /// and, when `cc` differs from the running algorithm, swap in a fresh
+    /// instance of the new congestion control (the window restarts from
+    /// the algorithm's initial state, as a real kernel does on a
+    /// per-route `congestion` change). In-flight segments, RTT state, and
+    /// reassembly buffers are untouched, so no data is lost or reordered.
+    pub fn set_profile(&mut self, dscp: u8, cc: CcAlgo) {
+        self.cfg.dscp = dscp;
+        if cc != self.cfg.cc {
+            self.cfg.cc = cc;
+            self.cc = cc.build();
+        }
+    }
+
     /// The currently armed timer, as `(fire_at, generation)` — what the
     /// driver would have been told via the last [`ConnOutput::timer`].
     pub fn timer_state(&self) -> Option<(SimTime, u64)> {

@@ -37,6 +37,22 @@ if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
     exit 1
   fi
 
+  echo "== policy plane: closed-loop adaptation smoke =="
+  # A short A6 run at congesting load: the SLO burn alert must fire and
+  # the policy plane must converge a mid-run transition. Guards the
+  # telemetry -> adaptation -> push/ack loop end to end.
+  a6_log="$(MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=6 MESHLAYER_WARMUP=1 \
+    cargo run --offline --release -q -p meshlayer-bench --bin a6_adaptation -- 80)"
+  echo "$a6_log"
+  if ! grep -q "policy transition: v2" <<<"$a6_log"; then
+    echo "ci: A6 observed no policy transition (adaptation loop broken)" >&2
+    exit 1
+  fi
+  if ! grep -Eq "policy transition: v2 .*converged=[0-9]" <<<"$a6_log"; then
+    echo "ci: A6 policy transition never converged" >&2
+    exit 1
+  fi
+
   echo "== engine bench: smoke run + regression gate =="
   # A 2-second macro bench of the event engine, gated against the
   # checked-in baseline: fails if events/sec drops below 80% of

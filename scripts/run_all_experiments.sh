@@ -4,7 +4,7 @@
 #
 # Each bin also dumps telemetry artifacts with stable names into
 # results/: <bin>_telemetry.json, <bin>_latency.csv, <bin>_gauges.csv,
-# <bin>_metrics.prom for bin in {fig4, a1..a5}, plus fig4_spans.json
+# <bin>_metrics.prom for bin in {fig4, a1..a6}, plus fig4_spans.json
 # (Zipkin-style span dump for the representative Fig 4 run).
 #
 # Full length takes tens of minutes; export MESHLAYER_SECS=10 for a
@@ -39,6 +39,7 @@ run "$SECS" a2_scavenger 40
 run $((SECS / 3 + 1)) a3_lb_tail
 run $((SECS / 3 + 1)) a4_hedging
 run $((SECS / 4 + 1)) a5_sdn
+run $((SECS / 3 + 1)) a6_adaptation
 
 echo
 echo "all experiment outputs in $OUT/"

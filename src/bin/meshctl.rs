@@ -5,18 +5,22 @@
 //! meshctl run [RPS] [SECS]         # run the case study, baseline vs optimized
 //! meshctl trace [RPS] [SECS]       # run + print the slowest distributed trace
 //! meshctl ablate [RPS] [SECS]      # toggle each optimization site (A1-style)
+//! meshctl policy dump [PRESET]     # render a policy snapshot (baseline|prototype|full)
+//! meshctl policy diff A B          # toggle-level diff between two presets
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (positional args only).
 
 use meshlayer::apps::{elibrary, ElibraryParams};
-use meshlayer::core::{RunMetrics, SimSpec, Simulation, XLayerConfig};
+use meshlayer::core::{PolicySnapshot, RunMetrics, SimSpec, Simulation, XLayerConfig};
 use meshlayer::mesh::Sampling;
 use meshlayer::simcore::SimDuration;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: meshctl <topology|run|trace|ablate> [RPS] [SECS]");
+    eprintln!("       meshctl policy <dump [PRESET] | diff PRESET PRESET>");
+    eprintln!("       presets: baseline | prototype | full");
     ExitCode::from(2)
 }
 
@@ -114,11 +118,66 @@ fn cmd_ablate(rps: f64, secs: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// A named preset rendered as the policy snapshot the control plane
+/// would push for it. Versions are illustrative: a dump is v1, a diff
+/// is v1 -> v2.
+fn preset_snapshot(name: &str, version: u64) -> Option<PolicySnapshot> {
+    let xlayer = match name {
+        "baseline" => XLayerConfig::baseline(),
+        "prototype" => XLayerConfig::paper_prototype(),
+        "full" => XLayerConfig::full(),
+        _ => return None,
+    };
+    Some(PolicySnapshot {
+        version,
+        xlayer,
+        high_share: meshlayer::core::HIGH_PRIO_SHARE,
+        queue_pkts: meshlayer::core::NetworkPlan::default().queue_pkts,
+    })
+}
+
+fn cmd_policy(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("dump") => {
+            let name = args.get(1).map(String::as_str).unwrap_or("prototype");
+            let Some(snap) = preset_snapshot(name, 1) else {
+                eprintln!("unknown preset {name:?}");
+                return usage();
+            };
+            print!("{}", snap.render());
+            ExitCode::SUCCESS
+        }
+        Some("diff") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let (Some(from), Some(to)) = (preset_snapshot(a, 1), preset_snapshot(b, 2)) else {
+                eprintln!("unknown preset in {a:?} / {b:?}");
+                return usage();
+            };
+            let changes = from.diff(&to);
+            if changes.is_empty() {
+                println!("no toggle changes: {a} == {b}");
+            } else {
+                println!("policy diff: {a} -> {b} ({} toggles change)", changes.len());
+                for (name, old, new) in changes {
+                    println!("  {name:<20} {old} -> {new}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return usage();
     };
+    if cmd == "policy" {
+        return cmd_policy(&args[1..]);
+    }
     let rps: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(30.0);
     let secs: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(10);
     if rps <= 0.0 || secs == 0 {
