@@ -15,9 +15,9 @@ fn main() {
     if let Some(code) = meshlayer_bench::handle_flight("a4_hedging") {
         std::process::exit(code);
     }
-    let len = RunLength::from_env();
-    let rps: f64 = std::env::args()
-        .nth(1)
+    let len = RunLength::from_env_and_args();
+    let rps: f64 = meshlayer_bench::positional_args()
+        .first()
         .and_then(|a| a.parse().ok())
         .unwrap_or(150.0);
     println!("# A4: request hedging at {rps} rps ({}s runs)", len.secs);

@@ -8,13 +8,17 @@
 //! Flags:
 //! - `--smoke`: short CI run (2 sim-seconds, reduced point set) unless
 //!   `MESHLAYER_SECS` explicitly overrides.
-//! - `--gate <baseline.json>`: exit non-zero if events/sec regresses
-//!   more than 20 % below the checked-in baseline report.
+//! - `--threads 1,2,4,8`: thread-scaling mode — repeat the sweep at each
+//!   engine thread count and emit per-count `scaling` rows with a
+//!   `speedup_vs_1t` column (1 is always included; the headline
+//!   events/sec stays the 1-thread figure).
+//! - `--gate <baseline.json>`: exit non-zero if 1-thread events/sec
+//!   regresses more than 20 % below the checked-in baseline report.
 //!
 //! Defaults to `MESHLAYER_SECS=10` (not the harness-wide 30) — long
 //! enough for stable throughput, short enough to run on every PR.
 
-use meshlayer_bench::{artifact_dir, engine_macro_bench, EngineBenchReport, RunLength};
+use meshlayer_bench::{artifact_dir, engine_scaling_bench, EngineBenchReport, RunLength};
 
 /// Fraction of baseline events/sec below which the gate fails.
 const GATE_FLOOR: f64 = 0.8;
@@ -28,6 +32,26 @@ fn main() {
             std::process::exit(2);
         })
     });
+    // `--threads` here takes a comma list of counts to sweep, unlike the
+    // single-count knob of the other bins.
+    let thread_counts: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("bench_engine: --threads requires a comma list, e.g. 1,2,4,8");
+                std::process::exit(2);
+            });
+            v.split(',')
+                .map(|p| {
+                    p.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("bench_engine: bad thread count {p:?} in --threads {v}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1]);
 
     let mut len = RunLength::from_env();
     if std::env::var("MESHLAYER_SECS").is_err() {
@@ -43,12 +67,26 @@ fn main() {
     };
 
     eprintln!(
-        "bench_engine: fig4 macro bench, rps={points:?}, {}s per run ({} serial runs)...",
+        "bench_engine: fig4 macro bench, rps={points:?}, {}s per run, threads {thread_counts:?} \
+         ({} serial runs per count)...",
         len.secs,
         points.len() * 2
     );
-    let report = engine_macro_bench(&points, len);
+    let report = engine_scaling_bench(&points, len, &thread_counts);
     print!("{}", report.render());
+
+    // Thread-scaling sanity: on real multi-core hosts parallel rows
+    // should beat 1 thread, but smoke-sized runs (and 1-core hosts) may
+    // legitimately not — so this only warns, it never fails the run.
+    for row in report.scaling.iter().filter(|r| r.threads > 1) {
+        if row.speedup_vs_1t < 1.0 {
+            eprintln!(
+                "bench_engine: WARN: {} threads ran at {:.2}x vs 1 thread \
+                 (host parallelism {}, {}s runs) — expected on tiny runs or few cores",
+                row.threads, row.speedup_vs_1t, report.host_parallelism, report.secs
+            );
+        }
+    }
 
     let dir = artifact_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {

@@ -25,7 +25,7 @@ fn run(depth: usize, with_overhead: bool, len: RunLength) -> (f64, f64) {
 
 fn main() {
     let len = {
-        let mut l = RunLength::from_env();
+        let mut l = RunLength::from_env_and_args();
         l.secs = l.secs.min(15);
         l
     };

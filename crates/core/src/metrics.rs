@@ -200,8 +200,8 @@ impl RunMetrics {
             transport,
             world: sim.stats.clone(),
             events,
-            events_pushed: sim.queue.total_pushed(),
-            events_popped: sim.queue.total_popped(),
+            events_pushed: sim.events_pushed(),
+            events_popped: sim.events_popped(),
             wall_ns: sim.wall_ns,
             sim_seconds: now.as_secs_f64(),
             spans: sim.tracer.spans().len(),

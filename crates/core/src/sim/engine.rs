@@ -8,28 +8,48 @@ use meshlayer_transport::ConnOutput;
 impl Simulation {
     /// Run to completion: seed the workload arrivals, drain events until
     /// the configured duration elapses, then collect metrics.
+    ///
+    /// `config.threads > 1` selects the sharded conservative-parallel
+    /// engine ([`Simulation::run_sharded`]); its committed event stream
+    /// and metrics are bit-identical to the sequential loop.
     pub fn run(&mut self) -> crate::metrics::RunMetrics {
+        let threads = self.spec.config.threads;
+        if threads > 1 {
+            self.run_sharded(threads)
+        } else {
+            self.run_sequential()
+        }
+    }
+
+    /// Push the initial event population: one arrival per workload
+    /// generator, the tick chains, and the first telemetry scrape —
+    /// shared verbatim by both engines.
+    pub(crate) fn seed_events(&mut self) {
         for gen in 0..self.gens.len() {
             let at = self.gens[gen].next_at();
             if at < self.end_at {
-                self.queue.push(at, Ev::Arrival { gen });
+                self.push_ev(at, Ev::Arrival { gen });
             }
         }
         if self.live.sdn_lb {
             self.sdn_armed = true;
             let t = SimTime::ZERO + self.spec.config.sdn_tick;
-            self.queue.push(t, Ev::SdnTick);
+            self.push_ev(t, Ev::SdnTick);
         }
         {
             let t = SimTime::ZERO + self.spec.config.control_tick;
-            self.queue.push(t, Ev::ControlTick);
+            self.push_ev(t, Ev::ControlTick);
         }
         {
             let t = SimTime::ZERO + self.telemetry.interval();
             if t < self.end_at {
-                self.queue.push(t, Ev::TelemetryTick);
+                self.push_ev(t, Ev::TelemetryTick);
             }
         }
+    }
+
+    pub(crate) fn run_sequential(&mut self) -> crate::metrics::RunMetrics {
+        self.seed_events();
         let mut processed: u64 = 0;
         // Generous runaway guard: the densest expected runs are tens of
         // millions of events; a run hitting this bound is a driver bug.
@@ -59,7 +79,7 @@ impl Simulation {
         crate::metrics::RunMetrics::collect(self, processed)
     }
 
-    fn handle(&mut self, ev: Ev, now: SimTime) {
+    pub(crate) fn handle(&mut self, ev: Ev, now: SimTime) {
         match ev {
             Ev::Arrival { gen } => self.on_arrival(gen, now),
             Ev::LinkTx { link } => self.on_link_tx(link, now),
@@ -213,7 +233,7 @@ impl Simulation {
         self.scrape.last_at = now;
         let next = now + self.telemetry.interval();
         if next < self.end_at {
-            self.queue.push(next, Ev::TelemetryTick);
+            self.push_ev(next, Ev::TelemetryTick);
         }
     }
 
@@ -222,7 +242,7 @@ impl Simulation {
         self.sdn.observe(&self.fabric, now);
         let next = now + self.spec.config.sdn_tick;
         if next < self.end_at {
-            self.queue.push(next, Ev::SdnTick);
+            self.push_ev(next, Ev::SdnTick);
         }
     }
 
@@ -242,7 +262,7 @@ impl Simulation {
             .rotate_expiring(now, meshlayer_simcore::SimDuration::from_secs(3600));
         let next = now + self.spec.config.control_tick;
         if next < self.end_at {
-            self.queue.push(next, Ev::ControlTick);
+            self.push_ev(next, Ev::ControlTick);
         }
     }
 
@@ -253,8 +273,8 @@ impl Simulation {
     /// Act on a link's reported outcome.
     fn apply_link_outcome(&mut self, link: LinkId, outcome: LinkOutcome) {
         match outcome {
-            LinkOutcome::Busy { done_at } => self.queue.push(done_at, Ev::LinkTx { link }),
-            LinkOutcome::KickAt { at } => self.queue.push(at, Ev::LinkKick { link }),
+            LinkOutcome::Busy { done_at } => self.push_ev(done_at, Ev::LinkTx { link }),
+            LinkOutcome::KickAt { at } => self.push_ev(at, Ev::LinkKick { link }),
             LinkOutcome::Idle => {}
         }
     }
@@ -280,8 +300,7 @@ impl Simulation {
         let delay = link.delay();
         let to = link.to();
         let (pkt, next) = link.on_tx_done(now);
-        self.queue
-            .push(now + delay, Ev::PktArrive { pkt, node: to });
+        self.push_ev(now + delay, Ev::PktArrive { pkt, node: to });
         self.apply_link_outcome(link_id, next);
     }
 
@@ -363,7 +382,7 @@ impl Simulation {
             let pair = self.conns.get_mut(&conn).expect("conn exists");
             if gen > pair.scheduled_gen[dir as usize] {
                 pair.scheduled_gen[dir as usize] = gen;
-                self.queue.push(at, Ev::ConnTimer { conn, dir, gen });
+                self.push_ev(at, Ev::ConnTimer { conn, dir, gen });
             }
         }
         for d in out.delivered {
@@ -395,7 +414,7 @@ impl Simulation {
                     sc.overhead()
                 };
                 let at = now + overhead + self.spec.config.app_sidecar_delay;
-                self.queue.push(
+                self.push_ev(
                     at,
                     Ev::AttemptResponse {
                         rpc,

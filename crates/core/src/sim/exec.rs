@@ -73,7 +73,7 @@ impl Simulation {
             },
         );
         let at = now + overhead + self.spec.config.app_sidecar_delay;
-        self.queue.push(at, Ev::ExecStart { exec: exec_id });
+        self.push_ev(at, Ev::ExecStart { exec: exec_id });
     }
 
     /// Begin interpreting the behaviour tree.
@@ -275,7 +275,7 @@ impl Simulation {
         // Slow replicas stretch their service times (straggler modelling).
         let factor = self.cluster.pod(pod).speed_factor;
         let dt = dist.sample_duration(&mut rng).mul_f64(factor.max(0.0));
-        self.queue.push(now + dt, Ev::ComputeDone { pod, token });
+        self.push_ev(now + dt, Ev::ComputeDone { pod, token });
     }
 
     pub(crate) fn on_compute_done(&mut self, pod: PodId, token: u64, now: SimTime) {
@@ -344,7 +344,7 @@ impl Simulation {
             },
         );
         let at = now + overhead + self.spec.config.app_sidecar_delay;
-        self.queue.push(
+        self.push_ev(
             at,
             Ev::SendMsg {
                 conn: e.reply_conn,

@@ -11,6 +11,13 @@
 //! fields of each event. Wall-clock quantities (handler profiling,
 //! run duration) are excluded, so two runs of the same `(spec, seed)`
 //! produce byte-identical event streams regardless of host load.
+//!
+//! The digest is also engine-agnostic: it folds the *committed* event
+//! stream, which both the sequential and the sharded engine
+//! (DESIGN.md §9) produce in the same total `(SimTime, push-seq)`
+//! order — so captures record and replay identically at any
+//! `--threads` count, and a thread-count change that altered even one
+//! commit would surface as a divergence.
 
 use super::{Ev, Simulation};
 use meshlayer_flightrec::digest::{fold_bytes, fold_u64, FNV_OFFSET};

@@ -20,6 +20,7 @@
 mod engine;
 mod exec;
 mod flight;
+mod par;
 mod policy_rt;
 mod rpc;
 
@@ -77,6 +78,12 @@ pub struct SimConfig {
     pub policy_push_delay: SimDuration,
     /// Time-series telemetry: scrape interval and SLO targets.
     pub telemetry: TelemetryConfig,
+    /// Worker threads for the event engine. `1` (the default) runs the
+    /// sequential loop; `> 1` runs the sharded conservative-parallel
+    /// engine (see [`mod@self::par`]), which is bit-identical to the
+    /// sequential engine for any thread count. Not part of the run's
+    /// identity: captures record/replay across different thread counts.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -98,6 +105,7 @@ impl Default for SimConfig {
             control_tick: SimDuration::from_secs(1),
             policy_push_delay: SimDuration::from_millis(10),
             telemetry: TelemetryConfig::default(),
+            threads: 1,
         }
     }
 }
@@ -446,6 +454,10 @@ pub struct Simulation {
     pub(crate) rng: SimRng,
     pub(crate) stats: WorldStats,
     pub(crate) end_at: SimTime,
+    /// Sharded-engine runtime, installed by a `threads > 1` run. While
+    /// present, event routing, the clock and the push/pop counters live
+    /// here instead of on `queue`.
+    pub(crate) shards: Option<par::ShardRt>,
     /// Flight-recorder capture/replay state, when attached.
     pub(crate) flight: Option<flight::FlightState>,
     /// Outcome of the last run's capture/replay, until taken.
@@ -519,7 +531,9 @@ impl Simulation {
             })
             .collect();
         for (pid, name, service) in pod_list {
-            let sc_rng = rng.split_idx("sidecar", pid.0 as u64);
+            // Each sidecar draws from its LP's stream — a pure function
+            // of (seed, pod), never of thread/shard count.
+            let sc_rng = rng.lp_stream(pid.0 as u64);
             sidecars.insert(
                 pid,
                 Sidecar::new(name, service.clone(), mesh.clone(), sc_rng),
@@ -604,6 +618,7 @@ impl Simulation {
             rng: rng.split("world"),
             stats: WorldStats::default(),
             end_at,
+            shards: None,
             flight: None,
             flight_outcome: None,
             wall_ns: 0,
@@ -616,8 +631,28 @@ impl Simulation {
     }
 
     /// Current simulated time.
+    #[inline(always)]
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        match &self.shards {
+            Some(rt) => rt.clock,
+            None => self.queue.now(),
+        }
+    }
+
+    /// Total events pushed by the last/current run, engine-agnostic.
+    pub(crate) fn events_pushed(&self) -> u64 {
+        match &self.shards {
+            Some(rt) => rt.pushed,
+            None => self.queue.total_pushed(),
+        }
+    }
+
+    /// Total events popped by the last/current run, engine-agnostic.
+    pub(crate) fn events_popped(&self) -> u64 {
+        match &self.shards {
+            Some(rt) => rt.popped,
+            None => self.queue.total_popped(),
+        }
     }
 
     /// The deployed cluster.
@@ -690,7 +725,7 @@ impl Simulation {
         let version =
             self.policy
                 .propose(config, high_share, self.spec.network.queue_pkts, at, reason);
-        self.queue.push(at, Ev::PolicyPush { version });
+        self.push_ev(at, Ev::PolicyPush { version });
         version
     }
 

@@ -48,7 +48,7 @@ impl Simulation {
         let jitter_span = (base.as_nanos() / 2).max(1);
         for pod in pods {
             let jitter = SimDuration::from_nanos(self.rng.u64() % jitter_span);
-            self.queue.push(
+            self.push_ev(
                 now + base + jitter,
                 Ev::PolicyApply {
                     version,
@@ -58,7 +58,7 @@ impl Simulation {
             );
         }
         for layer in PolicyLayer::GLOBAL {
-            self.queue.push(
+            self.push_ev(
                 now + base,
                 Ev::PolicyApply {
                     version,
@@ -105,7 +105,7 @@ impl Simulation {
                         self.sdn_armed = true;
                         let t = now + self.spec.config.sdn_tick;
                         if t < self.end_at {
-                            self.queue.push(t, Ev::SdnTick);
+                            self.push_ev(t, Ev::SdnTick);
                         }
                     }
                 }

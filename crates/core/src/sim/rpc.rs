@@ -17,7 +17,7 @@ impl Simulation {
         // Schedule the next arrival of this generator.
         let next = self.gens[gen].next_at();
         if next < self.end_at {
-            self.queue.push(next, Ev::Arrival { gen });
+            self.push_ev(next, Ev::Arrival { gen });
         }
         let mut req = gr.request;
         // §4.3 step 1: classify at the ingress and stamp the header.
@@ -155,10 +155,9 @@ impl Simulation {
                         span: client_span,
                     },
                 );
-                self.queue
-                    .push(now + timeout, Ev::RpcTimeout { rpc: rpc_id });
+                self.push_ev(now + timeout, Ev::RpcTimeout { rpc: rpc_id });
                 if let Some(delay) = hedge_after {
-                    self.queue.push(
+                    self.push_ev(
                         now + delay,
                         Ev::HedgeFire {
                             rpc: rpc_id,
@@ -204,7 +203,7 @@ impl Simulation {
             },
         );
         let send_at = now + overhead + self.spec.config.app_sidecar_delay;
-        self.queue.push(
+        self.push_ev(
             send_at,
             Ev::SendMsg {
                 conn,
@@ -213,7 +212,7 @@ impl Simulation {
                 bytes: wire,
             },
         );
-        self.queue.push(
+        self.push_ev(
             send_at + per_try,
             Ev::PerTryTimeout {
                 rpc: rpc_id,
@@ -285,7 +284,7 @@ impl Simulation {
             sc.should_retry(&cluster, &req, tries.saturating_sub(1), failure, now)
         };
         match backoff {
-            Some(b) => self.queue.push(now + b, Ev::RetryFire { rpc: rpc_id }),
+            Some(b) => self.push_ev(now + b, Ev::RetryFire { rpc: rpc_id }),
             None => self.complete_rpc(rpc_id, status, now),
         }
     }

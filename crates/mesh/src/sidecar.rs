@@ -17,6 +17,13 @@
 //! * **response** — [`Sidecar::on_upstream_response`] feeds latency and
 //!   status back into EWMA, outlier detection and the breaker, and
 //!   [`Sidecar::should_retry`] decides whether (and when) to retry.
+//!
+//! A sidecar shares no mutable state with any other sidecar: its RNG is
+//! the pod-LP stream (`SimRng::lp_stream`, a pure function of
+//! `(seed, pod)`), and every cross-pod effect flows through the engine
+//! as a scheduled event. That isolation is what lets the sharded engine
+//! treat pod + sidecar as one logical process (DESIGN.md §9) without
+//! changing a single decision the sidecar makes.
 
 use crate::config::MeshConfig;
 use crate::lb::{LoadBalancer, PickCtx};

@@ -22,18 +22,19 @@ if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
   MESHLAYER_SECS=6 cargo test --offline --workspace -q
 
   echo "== flight recorder: record/replay divergence smoke =="
-  # Record a short canonical run, replay it, and require a clean
+  # Record a short canonical run on the sequential engine, replay it
+  # under the 4-thread sharded engine, and require a clean
   # zero-divergence report — the executable form of the determinism
-  # guarantee in DESIGN.md §6/§7.
+  # guarantee in DESIGN.md §6/§7/§9 (thread count changes nothing).
   flight_out="$(mktemp -d)"
   trap 'rm -rf "$flight_out"' EXIT
   MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=3 MESHLAYER_WARMUP=1 \
-    cargo run --offline --release -q -p meshlayer-bench --bin fig4_latency -- --record
+    cargo run --offline --release -q -p meshlayer-bench --bin fig4_latency -- --record --threads 1
   replay_log="$(MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=3 MESHLAYER_WARMUP=1 \
-    cargo run --offline --release -q -p meshlayer-bench --bin fig4_latency -- --replay)"
+    cargo run --offline --release -q -p meshlayer-bench --bin fig4_latency -- --replay --threads 4)"
   echo "$replay_log"
   if ! grep -q "0 divergences" <<<"$replay_log"; then
-    echo "ci: replay diverged" >&2
+    echo "ci: 4-thread replay of 1-thread capture diverged" >&2
     exit 1
   fi
 
@@ -53,13 +54,16 @@ if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
     exit 1
   fi
 
-  echo "== engine bench: smoke run + regression gate =="
-  # A 2-second macro bench of the event engine, gated against the
-  # checked-in baseline: fails if events/sec drops below 80% of
-  # BENCH_engine.json (see EXPERIMENTS.md, "Engine throughput").
+  echo "== engine bench: smoke run + regression gate (1 and 4 threads) =="
+  # A 2-second macro bench of the event engine at 1 and 4 engine
+  # threads, gated against the checked-in baseline: hard-fails only if
+  # the 1-thread events/sec drops below 80% of BENCH_engine.json (see
+  # EXPERIMENTS.md, "Engine throughput"). A <1.0x 4-thread speedup on
+  # these smoke sizes is expected on small hosts and only logs a WARN
+  # (bench_engine prints it) — it never fails CI.
   MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=2 MESHLAYER_WARMUP=1 \
     cargo run --offline --release -q -p meshlayer-bench --bin bench_engine -- \
-    --smoke --gate BENCH_engine.json
+    --smoke --threads 1,4 --gate BENCH_engine.json
 fi
 
 echo "ci: all checks passed"
