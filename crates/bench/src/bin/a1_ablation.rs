@@ -82,6 +82,7 @@ fn main() {
             eprintln!("telemetry artifacts failed: {e}");
         }
     }
+    meshlayer_bench::write_profile_artifact();
 }
 
 fn empty(class: &str) -> meshlayer_workload::ClassSummary {

@@ -48,7 +48,7 @@ fn main() {
             spec.xlayer.scavenger_algo = CcAlgo::TcpLp;
         }
         len.apply(&mut spec);
-        let m = Simulation::build(spec).run();
+        let m = meshlayer_bench::run_profiled(&mut Simulation::build(spec), name);
         let ls = m.class("latency-sensitive").expect("ls");
         let ba = m.class("batch-analytics").expect("batch");
         println!(
@@ -64,4 +64,5 @@ fn main() {
     println!();
     println!("# Expectation: LEDBAT batch yields at the 1 Gbps queue, cutting LS tail");
     println!("# latency without any mesh routing or TC changes (the (b)-only win).");
+    meshlayer_bench::write_profile_artifact();
 }

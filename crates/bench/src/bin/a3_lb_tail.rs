@@ -40,7 +40,7 @@ fn main() {
         // Mark replica 0 of the leaf service as the straggler.
         let straggler = sim.cluster().endpoints("svc-c0-d0", None)[0];
         sim.cluster_mut().pod_mut(straggler).speed_factor = 8.0;
-        let m = sim.run();
+        let m = meshlayer_bench::run_profiled(&mut sim, &format!("{policy:?}"));
         let c = m.class("fanout").expect("class");
         let straggler_jobs = m
             .pods
@@ -72,4 +72,5 @@ fn main() {
     println!();
     println!("# Expectation: PeakEwma/LeastRequest starve the straggler and cut p99;");
     println!("# RoundRobin/Random keep feeding it a full quarter of the traffic.");
+    meshlayer_bench::write_profile_artifact();
 }

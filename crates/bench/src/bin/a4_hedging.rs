@@ -38,7 +38,10 @@ fn main() {
             spec.mesh.default_policy.hedge_after = Some(SimDuration::from_millis(hedge_ms));
         }
         len.apply(&mut spec);
-        let m = Simulation::build(spec).run();
+        let m = meshlayer_bench::run_profiled(
+            &mut Simulation::build(spec),
+            &format!("hedge{hedge_ms}"),
+        );
         let c = m.class("fanout").expect("class");
         let extra = m.world.hedges as f64 / m.world.roots_started.max(1) as f64 * 100.0;
         let label = if hedge_ms == 0 {
@@ -59,4 +62,5 @@ fn main() {
     println!();
     println!("# Expectation: a hedge delay near the service-time p90 trims p99 with");
     println!("# only a few percent duplicated requests.");
+    meshlayer_bench::write_profile_artifact();
 }

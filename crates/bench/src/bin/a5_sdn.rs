@@ -48,7 +48,7 @@ fn main() {
         spec.mesh.default_policy.lb = policy;
         spec.xlayer.sdn_lb = sdn;
         len.apply(&mut spec);
-        let m = Simulation::build(spec).run();
+        let m = meshlayer_bench::run_profiled(&mut Simulation::build(spec), name);
         let c = m.class("fanout").expect("class");
         let slow_jobs = m
             .pods
@@ -79,4 +79,5 @@ fn main() {
     println!("# Expectation: the SDN signal removes the slow pod from rotation within");
     println!("# one observation window; EWMA converges to the same steady state from");
     println!("# latency alone (§3.3), validating both coordination paths the paper names.");
+    meshlayer_bench::write_profile_artifact();
 }

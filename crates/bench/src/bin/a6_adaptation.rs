@@ -103,19 +103,23 @@ fn main() {
     println!("# the burn-rate alert fires. Static runs bracket it from both sides.");
     println!("# variant               | p50 (ms) | p99 (ms) | batch p99 | ls done |  drops");
 
-    let base = Simulation::build(spec_at(rps, false, len)).run();
+    let base = meshlayer_bench::run_profiled(
+        &mut Simulation::build(spec_at(rps, false, len)),
+        "static baseline",
+    );
     row("static baseline", &base);
 
     let mut sim = Simulation::build(spec_at(rps, true, len));
-    let adapt = sim.run();
+    let adapt = meshlayer_bench::run_profiled(&mut sim, "adaptive");
     row("adaptive (closed loop)", &adapt);
 
     let mut opt_spec = spec_at(rps, false, len);
     opt_spec.xlayer = XLayerConfig::paper_prototype();
-    let opt = Simulation::build(opt_spec).run();
+    let opt = meshlayer_bench::run_profiled(&mut Simulation::build(opt_spec), "static optimized");
     row("static optimized", &opt);
     println!();
 
+    meshlayer_bench::write_profile_artifact();
     let transitions = sim.policy().transitions();
     if transitions.is_empty() {
         println!("no policy transition fired: the SLO never burned at {rps} rps");

@@ -49,4 +49,5 @@ fn main() {
         }
         Err(e) => eprintln!("telemetry artifacts failed: {e}"),
     }
+    meshlayer_bench::write_profile_artifact();
 }

@@ -18,7 +18,13 @@ fn run(depth: usize, with_overhead: bool, len: RunLength) -> (f64, f64) {
         spec.config.app_sidecar_delay = meshlayer_simcore::SimDuration::ZERO;
     }
     len.apply(&mut spec);
-    let m = Simulation::build(spec).run();
+    let m = meshlayer_bench::run_profiled(
+        &mut Simulation::build(spec),
+        &format!(
+            "depth{depth}-{}",
+            if with_overhead { "mesh" } else { "nomesh" }
+        ),
+    );
     let c = m.class("fanout").expect("class");
     (c.p50_ms, c.p99_ms)
 }
@@ -48,4 +54,5 @@ fn main() {
     println!();
     println!("# Istio's published figure is ~3 ms p99 for the two sidecars of one hop;");
     println!("# the default proxy-overhead model lands in the same order of magnitude.");
+    meshlayer_bench::write_profile_artifact();
 }

@@ -2,6 +2,7 @@
 
 use crate::sim::{Simulation, WorldStats};
 use meshlayer_mesh::SidecarStats;
+use meshlayer_prof::{aggregate_routes, render_route_table, RouteBreakdown};
 use meshlayer_telemetry::{TelemetryConfig, TelemetryHub, TelemetrySummary, TraceAnalytics};
 use meshlayer_workload::ClassSummary;
 use serde::{Deserialize, Serialize};
@@ -104,6 +105,9 @@ pub struct RunMetrics {
     pub analytics: TraceAnalytics,
     /// Per-event-variant loop profile, alphabetical by variant.
     pub event_profile: Vec<EvProfile>,
+    /// Per-route latency provenance: each class's end-to-end latency
+    /// decomposed into the seven mesh layers (sim-time, deterministic).
+    pub provenance: Vec<RouteBreakdown>,
 }
 
 impl RunMetrics {
@@ -209,6 +213,7 @@ impl RunMetrics {
             telemetry,
             analytics,
             event_profile,
+            provenance: aggregate_routes(sim.request_provenance()),
         }
     }
 
@@ -284,15 +289,22 @@ impl RunMetrics {
             self.telemetry.interval_s * 1000.0,
             self.telemetry.alerts.len()
         ));
+        // Event profile: every variant that fired, ranked by handler wall
+        // time, with its share of the whole loop's wall clock.
         let mut profile: Vec<&EvProfile> = self.event_profile.iter().collect();
         profile.sort_by_key(|p| std::cmp::Reverse(p.wall_ns));
-        for p in profile.iter().take(4) {
+        let total_wall = self.wall_ns.max(1) as f64;
+        for p in &profile {
             out.push_str(&format!(
-                "  ev {:<16} n={:<9} wall={:.1}ms\n",
+                "  ev {:<16} n={:<9} wall={:>8.1}ms {:>5.1}% of total wall\n",
                 p.event,
                 p.count,
-                p.wall_ns as f64 / 1e6
+                p.wall_ns as f64 / 1e6,
+                p.wall_ns as f64 / total_wall * 100.0
             ));
+        }
+        if !self.provenance.is_empty() {
+            out.push_str(&render_route_table(&self.provenance));
         }
         out
     }

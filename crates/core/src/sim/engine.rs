@@ -54,6 +54,12 @@ impl Simulation {
         // Generous runaway guard: the densest expected runs are tens of
         // millions of events; a run hitting this bound is a driver bug.
         let max_events: u64 = 2_000_000_000;
+        // The phase profiler piggybacks on the per-event clock read the
+        // loop already takes, so profiling adds no extra `Instant::now()`
+        // calls on the hot path (and never touches simulation state).
+        let mut prof = self
+            .profile_requested
+            .then(meshlayer_prof::PhaseProfiler::sequential);
         let loop_wall = std::time::Instant::now();
         // One clock read per event: each interval (queue pop + flight
         // observation + handler) is attributed to the event it processed.
@@ -71,10 +77,16 @@ impl Simulation {
             let slot = &mut self.ev_profile[code];
             slot.0 += 1;
             slot.1 += spent;
+            if let Some(p) = prof.as_mut() {
+                p.on_seq_event(wall, spent);
+            }
             processed += 1;
             assert!(processed < max_events, "event-loop runaway");
         }
         self.wall_ns = loop_wall.elapsed().as_nanos() as u64;
+        if let Some(p) = prof {
+            self.profile = Some(p.finish(self.wall_ns));
+        }
         self.flight_finish();
         crate::metrics::RunMetrics::collect(self, processed)
     }
@@ -392,19 +404,25 @@ impl Simulation {
 
     /// A whole message finished arriving at endpoint `(conn, dir)`.
     fn on_msg_delivered(&mut self, conn: u64, dir: u8, msg: u64, now: SimTime) {
-        let receiver_pod = {
+        let (receiver_pod, sender_pod) = {
             let pair = self.conns.get(&conn).expect("conn exists");
             if dir == 0 {
-                pair.a_pod
+                (pair.a_pod, pair.b_pod)
             } else {
-                pair.b_pod
+                (pair.b_pod, pair.a_pod)
             }
         };
         match self.msg_store.remove(&msg) {
             Some(MsgInFlight::Request { req, rpc, attempt }) => {
                 self.on_request_delivered(req, rpc, attempt, receiver_pod, conn, dir, now);
             }
-            Some(MsgInFlight::Response { resp, rpc, attempt }) => {
+            Some(MsgInFlight::Response {
+                resp,
+                rpc,
+                attempt,
+                sent_at,
+                server,
+            }) => {
                 // Client-side sidecar overhead before the caller sees it.
                 let overhead = {
                     let sc = self
@@ -414,6 +432,19 @@ impl Simulation {
                     sc.overhead()
                 };
                 let at = now + overhead + self.spec.config.app_sidecar_delay;
+                // Close out the attempt's provenance: response wire
+                // (fabric vs. queueing), the server window it carried,
+                // and the client sidecar time just computed.
+                self.prov_wire_done(
+                    rpc,
+                    attempt,
+                    sender_pod,
+                    receiver_pod,
+                    resp.wire_size(),
+                    sent_at,
+                    now,
+                    Some((&server, at.saturating_since(now).as_nanos())),
+                );
                 self.push_ev(
                     at,
                     Ev::AttemptResponse {

@@ -6,6 +6,7 @@ use meshlayer_cluster::{Admission, CallStep, PodId};
 use meshlayer_http::{
     Request, Response, StatusCode, HDR_B3_TRACE_ID, HDR_PRIORITY, HDR_REQUEST_ID,
 };
+use meshlayer_prof::{Breakdown, Layer};
 use meshlayer_simcore::SimTime;
 use std::collections::VecDeque;
 
@@ -23,6 +24,17 @@ impl Simulation {
         now: SimTime,
     ) {
         let service = self.service_of(pod);
+        // Provenance: the request's wire crossing ends here. The sender
+        // is the other end of the delivering connection pair.
+        let sender_pod = {
+            let pair = self.conns.get(&conn).expect("conn exists");
+            if dir == 0 {
+                pair.b_pod
+            } else {
+                pair.a_pod
+            }
+        };
+        self.prov_request_wire(rpc, attempt, sender_pod, pod, req.wire_size(), now);
         let (ctx, overhead) = {
             let sc = self.sidecars.get_mut(&pod).expect("server sidecar");
             let ctx = sc.on_inbound(&mut req, now);
@@ -43,6 +55,7 @@ impl Simulation {
                     response_bytes: 0,
                     failed: Some(StatusCode::NOT_FOUND),
                     conts: Default::default(),
+                    bd: Breakdown::ZERO,
                     reply_conn: conn,
                     reply_dir: dir,
                     rpc,
@@ -66,6 +79,7 @@ impl Simulation {
                 response_bytes,
                 failed: None,
                 conts: Default::default(),
+                bd: Breakdown::ZERO,
                 reply_conn: conn,
                 reply_dir: dir,
                 rpc,
@@ -109,7 +123,7 @@ impl Simulation {
             return;
         }
         match step {
-            CallStep::Noop => self.complete_token(exec_id, parent, now),
+            CallStep::Noop => self.complete_token(exec_id, parent, now, Breakdown::ZERO),
             CallStep::Compute(dist) => {
                 let token = self.alloc_token();
                 let (pod, high) = {
@@ -125,6 +139,8 @@ impl Simulation {
                         exec: exec_id,
                         parent,
                         dist,
+                        offered_at: now,
+                        run_started: now,
                     },
                 );
                 match self.cluster.pod_mut(pod).compute.offer(token, high) {
@@ -136,7 +152,7 @@ impl Simulation {
                         if let Some(e) = self.execs.get_mut(&exec_id) {
                             e.failed = Some(StatusCode::UNAVAILABLE);
                         }
-                        self.complete_token(exec_id, parent, now);
+                        self.complete_token(exec_id, parent, now, Breakdown::ZERO);
                     }
                 }
             }
@@ -181,7 +197,7 @@ impl Simulation {
             }
             CallStep::Seq(mut steps) => {
                 if steps.is_empty() {
-                    self.complete_token(exec_id, parent, now);
+                    self.complete_token(exec_id, parent, now, Breakdown::ZERO);
                     return;
                 }
                 let token = self.alloc_token();
@@ -192,13 +208,14 @@ impl Simulation {
                     Cont::Seq {
                         rest: VecDeque::from(steps),
                         parent,
+                        acc: Breakdown::ZERO,
                     },
                 );
                 self.start_step(exec_id, first, token, now);
             }
             CallStep::Par(steps) => {
                 if steps.is_empty() {
-                    self.complete_token(exec_id, parent, now);
+                    self.complete_token(exec_id, parent, now, Breakdown::ZERO);
                     return;
                 }
                 let token = self.alloc_token();
@@ -217,12 +234,22 @@ impl Simulation {
         }
     }
 
-    /// One child of `token` completed.
-    pub(crate) fn complete_token(&mut self, exec_id: u64, token: u64, now: SimTime) {
+    /// One child of `token` completed, carrying its latency attribution.
+    ///
+    /// Breakdown composition mirrors the tree's timing structure:
+    /// sequential children are contiguous, so a `Seq` *accumulates*; the
+    /// children of a `Par` all start together, so the completion that
+    /// closes the join — processed at the join's end time — spans the
+    /// whole window by itself and *replaces* its siblings' breakdowns.
+    /// Either way the resulting sum equals the node's elapsed sim time.
+    pub(crate) fn complete_token(&mut self, exec_id: u64, token: u64, now: SimTime, bd: Breakdown) {
         if !self.execs.contains_key(&exec_id) {
             return;
         }
         if token == ROOT_TOKEN {
+            if let Some(e) = self.execs.get_mut(&exec_id) {
+                e.bd.add(&bd);
+            }
             self.finish_exec(exec_id, now);
             return;
         }
@@ -231,17 +258,24 @@ impl Simulation {
             e.conts.remove(&token)
         };
         match cont {
-            Some(Cont::Seq { mut rest, parent }) => match rest.pop_front() {
-                Some(next) => {
-                    let e = self.execs.get_mut(&exec_id).expect("exec exists");
-                    e.conts.insert(token, Cont::Seq { rest, parent });
-                    self.start_step(exec_id, next, token, now);
+            Some(Cont::Seq {
+                mut rest,
+                parent,
+                mut acc,
+            }) => {
+                acc.add(&bd);
+                match rest.pop_front() {
+                    Some(next) => {
+                        let e = self.execs.get_mut(&exec_id).expect("exec exists");
+                        e.conts.insert(token, Cont::Seq { rest, parent, acc });
+                        self.start_step(exec_id, next, token, now);
+                    }
+                    None => self.complete_token(exec_id, parent, now, acc),
                 }
-                None => self.complete_token(exec_id, parent, now),
-            },
+            }
             Some(Cont::Par { remaining, parent }) => {
                 if remaining <= 1 {
-                    self.complete_token(exec_id, parent, now);
+                    self.complete_token(exec_id, parent, now, bd);
                 } else {
                     let e = self.execs.get_mut(&exec_id).expect("exec exists");
                     e.conts.insert(
@@ -265,12 +299,11 @@ impl Simulation {
 
     /// Sample a just-started job's service time and schedule completion.
     fn schedule_compute(&mut self, pod: PodId, token: u64, now: SimTime) {
-        let dist = self
-            .compute_jobs
-            .get(&token)
-            .expect("job exists")
-            .dist
-            .clone();
+        let dist = {
+            let job = self.compute_jobs.get_mut(&token).expect("job exists");
+            job.run_started = now;
+            job.dist.clone()
+        };
         let mut rng = self.rng.split_idx("svc", token);
         // Slow replicas stretch their service times (straggler modelling).
         let factor = self.cluster.pod(pod).speed_factor;
@@ -280,7 +313,13 @@ impl Simulation {
 
     pub(crate) fn on_compute_done(&mut self, pod: PodId, token: u64, now: SimTime) {
         if let Some(job) = self.compute_jobs.remove(&token) {
-            self.complete_token(job.exec, job.parent, now);
+            let mut bd = Breakdown::ZERO;
+            bd.add_ns(
+                Layer::ComputeQueue,
+                job.run_started.saturating_since(job.offered_at).as_nanos(),
+            );
+            bd.add_ns(Layer::App, now.saturating_since(job.run_started).as_nanos());
+            self.complete_token(job.exec, job.parent, now, bd);
         }
         // Start the next queued job, if any.
         if let Some(next) = self.cluster.pod_mut(pod).compute.on_complete() {
@@ -335,15 +374,27 @@ impl Simulation {
             let rid = resp.headers.get(HDR_REQUEST_ID).unwrap_or_default();
             fr.record_msg_bind(now, msg, e.reply_conn, e.rpc, e.attempt, 1, rid);
         }
+        let at = now + overhead + self.spec.config.app_sidecar_delay;
+        // Whatever part of the server window the behaviour tree does not
+        // account for (inbound/outbound sidecar work, localhost hops) is
+        // the server sidecar's share — keeping the window sum exact.
+        let mut server = e.bd;
+        server.add_ns(
+            Layer::SidecarServer,
+            at.saturating_since(e.started)
+                .as_nanos()
+                .saturating_sub(server.sum()),
+        );
         self.msg_store.insert(
             msg,
             MsgInFlight::Response {
                 resp,
                 rpc: e.rpc,
                 attempt: e.attempt,
+                sent_at: at,
+                server,
             },
         );
-        let at = now + overhead + self.spec.config.app_sidecar_delay;
         self.push_ev(
             at,
             Ev::SendMsg {

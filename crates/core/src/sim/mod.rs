@@ -22,6 +22,7 @@ mod exec;
 mod flight;
 mod par;
 mod policy_rt;
+mod prov;
 mod rpc;
 
 pub use flight::FlightOutcome;
@@ -280,6 +281,10 @@ pub(crate) enum MsgInFlight {
         rpc: u64,
         /// Attempt it answers.
         attempt: u32,
+        /// When the server sidecar put it on the wire (provenance).
+        sent_at: SimTime,
+        /// Server-side latency attribution for the whole server window.
+        server: meshlayer_prof::Breakdown,
     },
 }
 
@@ -314,6 +319,9 @@ pub(crate) struct Rpc {
     pub attempts: Vec<AttemptState>,
     pub pool_size: usize,
     pub completed: bool,
+    /// When the RPC started — the anchor the provenance residual
+    /// (backoff, losing attempts) is measured against.
+    pub started: SimTime,
     /// Client span to record at completion (sampled traces only).
     pub span: Option<ClientSpanCtx>,
 }
@@ -340,6 +348,10 @@ pub(crate) enum Cont {
     Seq {
         rest: std::collections::VecDeque<meshlayer_cluster::CallStep>,
         parent: u64,
+        /// Latency attribution accumulated across completed children.
+        /// Sequential children are contiguous in sim time, so the sum
+        /// spans the whole `Seq` exactly.
+        acc: meshlayer_prof::Breakdown,
     },
     Par {
         remaining: usize,
@@ -360,6 +372,8 @@ pub(crate) struct Exec {
     pub response_bytes: u64,
     pub failed: Option<StatusCode>,
     pub conts: FxHashMap<u64, Cont>,
+    /// Latency attribution of the completed behaviour tree (root token).
+    pub bd: meshlayer_prof::Breakdown,
     /// Reply path: the connection/direction the request arrived on.
     pub reply_conn: u64,
     pub reply_dir: u8,
@@ -372,6 +386,10 @@ pub(crate) struct ComputeJob {
     pub exec: u64,
     pub parent: u64,
     pub dist: Dist,
+    /// When the job was offered to the pod (queueing starts here).
+    pub offered_at: SimTime,
+    /// When it actually started running (service time starts here).
+    pub run_started: SimTime,
 }
 
 /// A transport connection pair (both endpoints).
@@ -451,6 +469,12 @@ pub struct Simulation {
     /// Per-Ev-variant profiling, indexed by [`Ev::code`]:
     /// (count, cumulative handler wall nanos).
     pub(crate) ev_profile: [(u64, u64); Ev::COUNT],
+    /// Sim-time latency provenance (always on; see [`mod@self::prov`]).
+    pub(crate) prov: prov::ProvTrack,
+    /// Whether the next `run()` should record wall-clock phase timings.
+    profile_requested: bool,
+    /// The phase profile of the last profiled run, until taken.
+    profile: Option<meshlayer_prof::ProfileReport>,
     pub(crate) rng: SimRng,
     pub(crate) stats: WorldStats,
     pub(crate) end_at: SimTime,
@@ -615,6 +639,9 @@ impl Simulation {
             telemetry,
             scrape: ScrapeState::default(),
             ev_profile: [(0, 0); Ev::COUNT],
+            prov: prov::ProvTrack::default(),
+            profile_requested: false,
+            profile: None,
             rng: rng.split("world"),
             stats: WorldStats::default(),
             end_at,
@@ -732,6 +759,19 @@ impl Simulation {
     /// The latency recorder.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Record wall-clock phase timings (drain/barrier/commit windows,
+    /// per-lane busy time) during the next `run()`. Wall-clock only:
+    /// event order, RNG draws, metrics and flight-recorder captures are
+    /// byte-identical whether or not profiling is enabled.
+    pub fn enable_profiling(&mut self) {
+        self.profile_requested = true;
+    }
+
+    /// Take the phase profile recorded by the last profiled run.
+    pub fn take_profile(&mut self) -> Option<meshlayer_prof::ProfileReport> {
+        self.profile.take()
     }
 
     /// Aggregate counters.

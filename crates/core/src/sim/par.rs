@@ -37,10 +37,12 @@
 //! could safely run concurrently; here it bounds each barrier's batch.
 
 use super::{Ev, Simulation};
+use meshlayer_prof::PhaseProfiler;
 use meshlayer_simcore::{EventQueue, SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// An event routed into a per-LP calendar: the payload carries the
 /// *global* push sequence so cross-LP merges preserve the total order.
@@ -217,12 +219,20 @@ struct DrainJob {
     lp: usize,
     queue: EventQueue<SeqEv>,
     horizon: SimTime,
+    /// Profiler epoch when phase timing is on: the worker stamps its
+    /// drain span relative to it. `None` keeps the unprofiled fast path
+    /// free of clock reads.
+    epoch: Option<Instant>,
 }
 
 struct DrainDone {
     lp: usize,
     queue: EventQueue<SeqEv>,
     batch: Vec<WinEv>,
+    /// Which drain worker ran the job (profiler lane; committer is 0).
+    worker: u32,
+    /// `(start_ns, dur_ns)` of the drain relative to the profiler epoch.
+    span: Option<(u64, u64)>,
 }
 
 // The drain protocol moves per-LP calendars (and therefore `Ev`
@@ -327,23 +337,36 @@ impl Simulation {
         let drain_workers = threads.saturating_sub(1);
         let mut processed: u64 = 0;
         let max_events: u64 = 2_000_000_000;
+        let mut prof = self
+            .profile_requested
+            .then(|| PhaseProfiler::sharded(threads, lookahead.as_nanos()));
         let loop_wall = std::time::Instant::now();
         let mut last_wall = loop_wall;
 
         std::thread::scope(|s| {
             let (done_tx, done_rx) = mpsc::channel::<DrainDone>();
             let mut job_tx: Vec<mpsc::Sender<DrainJob>> = Vec::with_capacity(drain_workers);
-            for _ in 0..drain_workers {
+            for w in 0..drain_workers {
                 let (tx, rx) = mpsc::channel::<DrainJob>();
                 let done = done_tx.clone();
+                let worker = (w + 1) as u32; // lane 0 is the committer
                 s.spawn(move || {
                     while let Ok(mut job) = rx.recv() {
+                        let t0 = job.epoch.map(|e| (Instant::now(), e));
                         let batch = drain_until(&mut job.queue, job.horizon);
+                        let span = t0.map(|(start, epoch)| {
+                            (
+                                start.duration_since(epoch).as_nanos() as u64,
+                                start.elapsed().as_nanos() as u64,
+                            )
+                        });
                         if done
                             .send(DrainDone {
                                 lp: job.lp,
                                 queue: job.queue,
                                 batch,
+                                worker,
+                                span,
                             })
                             .is_err()
                         {
@@ -357,6 +380,7 @@ impl Simulation {
 
             'run: loop {
                 // ---- Window selection ----------------------------------
+                let win_t0 = prof.as_ref().map(|_| Instant::now());
                 let rt = self.shards.as_mut().expect("sharded run");
                 let Some(t_min) = rt.next_time() else {
                     break 'run; // every calendar is empty
@@ -373,15 +397,23 @@ impl Simulation {
                             .is_some_and(|t| t < horizon)
                     })
                     .collect();
+                let mut win_drain_end = None;
+                let mut win_collect_end = None;
                 if active.len() <= 1 || drain_workers == 0 {
                     for lp in active {
                         let q = rt.queues[lp].as_mut().expect("home");
                         let batch = drain_until(q, horizon);
                         rt.window.extend(batch);
                     }
+                    if prof.is_some() {
+                        let t = Instant::now();
+                        win_drain_end = Some(t);
+                        win_collect_end = Some(t); // nothing to wait for
+                    }
                 } else {
                     // Deterministic round-robin over {committer, workers};
                     // result arrival order is irrelevant to the merge.
+                    let epoch = prof.as_ref().map(PhaseProfiler::epoch);
                     let mut outstanding = 0usize;
                     let mut own: Vec<usize> = Vec::new();
                     for (i, &lp) in active.iter().enumerate() {
@@ -391,7 +423,12 @@ impl Simulation {
                         } else {
                             let queue = rt.queues[lp].take().expect("home");
                             job_tx[drainer - 1]
-                                .send(DrainJob { lp, queue, horizon })
+                                .send(DrainJob {
+                                    lp,
+                                    queue,
+                                    horizon,
+                                    epoch,
+                                })
                                 .expect("drain worker alive");
                             outstanding += 1;
                         }
@@ -401,14 +438,20 @@ impl Simulation {
                         let batch = drain_until(q, horizon);
                         rt.window.extend(batch);
                     }
+                    win_drain_end = prof.as_ref().map(|_| Instant::now());
                     for _ in 0..outstanding {
                         let done = done_rx.recv().expect("drain worker alive");
                         rt.queues[done.lp] = Some(done.queue);
                         rt.window.extend(done.batch);
+                        if let (Some(p), Some((start, dur))) = (prof.as_mut(), done.span) {
+                            p.on_worker_drain(done.worker, done.lp, start, dur);
+                        }
                     }
+                    win_collect_end = prof.as_ref().map(|_| Instant::now());
                 }
 
                 // ---- Commit phase (sequenced) --------------------------
+                let win_events_before = processed;
                 loop {
                     let rt = self.shards.as_mut().expect("sharded run");
                     let Some(WinEv { at: t, ev, .. }) = rt.window.pop() else {
@@ -431,11 +474,19 @@ impl Simulation {
                     processed += 1;
                     assert!(processed < max_events, "event-loop runaway");
                 }
+                if let (Some(p), Some(t0), Some(de), Some(ce)) =
+                    (prof.as_mut(), win_t0, win_drain_end, win_collect_end)
+                {
+                    p.on_window(t0, de, ce, Instant::now(), processed - win_events_before);
+                }
             }
             drop(job_tx); // workers observe the hangup and exit
         });
 
         self.wall_ns = loop_wall.elapsed().as_nanos() as u64;
+        if let Some(p) = prof {
+            self.profile = Some(p.finish(self.wall_ns));
+        }
         self.flight_finish();
         crate::metrics::RunMetrics::collect(self, processed)
     }

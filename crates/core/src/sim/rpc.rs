@@ -5,6 +5,7 @@ use super::{AttemptState, ClientSpanCtx, CompletionKey, Ev, MsgInFlight, Rpc, Si
 use crate::provenance::request_priority;
 use meshlayer_http::{Request, StatusCode, HDR_REQUEST_ID};
 use meshlayer_mesh::{AttemptFailure, RouteOutcome};
+use meshlayer_prof::{Breakdown, Layer, RequestProv};
 use meshlayer_simcore::SimTime;
 
 impl Simulation {
@@ -123,6 +124,7 @@ impl Simulation {
                         attempts: Vec::new(),
                         pool_size: 0,
                         completed: false,
+                        started: now,
                         span: client_span,
                     },
                 );
@@ -152,6 +154,7 @@ impl Simulation {
                         }],
                         pool_size,
                         completed: false,
+                        started: now,
                         span: client_span,
                     },
                 );
@@ -203,6 +206,7 @@ impl Simulation {
             },
         );
         let send_at = now + overhead + self.spec.config.app_sidecar_delay;
+        self.prov_attempt_start(rpc_id, idx, now, send_at);
         self.push_ev(
             send_at,
             Ev::SendMsg {
@@ -296,13 +300,17 @@ impl Simulation {
         status: StatusCode,
         now: SimTime,
     ) {
+        // Take this attempt's provenance before settling: on success it
+        // becomes the RPC's breakdown; on failure its time is covered by
+        // the completing attempt's RetryWait residual.
+        let bd = self.prov_take_attempt(rpc_id, attempt);
         if !self.settle_attempt(rpc_id, attempt, Ok(status), now) {
             return;
         }
         if status.is_server_error() {
             self.after_failure(rpc_id, AttemptFailure::Status(status), status, now);
         } else {
-            self.complete_rpc(rpc_id, status, now);
+            self.complete_rpc_with(rpc_id, status, now, bd);
         }
     }
 
@@ -424,8 +432,24 @@ impl Simulation {
     // Completion
     // -----------------------------------------------------------------
 
-    /// Finish an RPC and notify its completion target.
+    /// Finish an RPC and notify its completion target (no winning
+    /// attempt breakdown: failures and fail-fast paths).
     pub(crate) fn complete_rpc(&mut self, rpc_id: u64, status: StatusCode, now: SimTime) {
+        self.complete_rpc_with(rpc_id, status, now, None);
+    }
+
+    /// Finish an RPC and notify its completion target. `attempt_bd` is
+    /// the winning attempt's latency attribution (when one exists); the
+    /// gap between it and the RPC's full span — backoff waits, attempts
+    /// that lost — is charged to [`Layer::RetryWait`], keeping the
+    /// decomposition exact.
+    pub(crate) fn complete_rpc_with(
+        &mut self,
+        rpc_id: u64,
+        status: StatusCode,
+        now: SimTime,
+        attempt_bd: Option<Breakdown>,
+    ) {
         let rpc = self.rpcs.get_mut(&rpc_id).expect("rpc exists");
         if rpc.completed {
             return;
@@ -434,6 +458,11 @@ impl Simulation {
         let completion = rpc.completion.clone();
         let caller = rpc.caller;
         let cluster_name = rpc.cluster.clone();
+        let attempt_count = rpc.attempts.len() as u32;
+        // RPC-level breakdown: winning attempt + residual -> RetryWait.
+        let mut bd = attempt_bd.unwrap_or_default();
+        let span_ns = now.saturating_since(rpc.started).as_nanos();
+        bd.add_ns(Layer::RetryWait, span_ns.saturating_sub(bd.sum()));
         // Settle any still-live attempts (e.g. the losing hedge) so the
         // sidecar's outstanding/breaker accounting stays balanced; their
         // late responses are dropped by `settle_attempt`'s done check.
@@ -456,6 +485,7 @@ impl Simulation {
         // Drop the rpc record; everything needed is local now. If the RPC
         // belongs to a sampled trace, emit its client span — the link the
         // callee's server span parents onto.
+        self.prov_drop_rpc(rpc_id, attempt_count);
         let finished = self.rpcs.remove(&rpc_id);
         if let Some(cs) = finished.and_then(|r| r.span) {
             let sc = self.sidecars.get(&caller).expect("caller sidecar");
@@ -492,6 +522,21 @@ impl Simulation {
                         now,
                         Some(now.saturating_since(intended_at)),
                     );
+                    // Provenance record: the breakdown must sum exactly
+                    // to the recorder's end-to-end latency, so any gap
+                    // between the RPC span and the full e2e window
+                    // (normally zero) also lands in RetryWait.
+                    let total_ns = now.saturating_since(intended_at).as_nanos();
+                    let mut bd = bd;
+                    bd.add_ns(Layer::RetryWait, total_ns.saturating_sub(bd.sum()));
+                    self.prov.record_root(RequestProv {
+                        request_id: request_id.clone(),
+                        class: class.clone(),
+                        intended_ns: intended_at.as_nanos(),
+                        completed_ns: now.as_nanos(),
+                        total_ns,
+                        breakdown: bd,
+                    });
                 } else {
                     self.stats.roots_failed += 1;
                     self.recorder.record_failure(&class, intended_at);
@@ -513,7 +558,7 @@ impl Simulation {
                         e.failed = Some(status);
                     }
                 }
-                self.complete_token(exec, token, now);
+                self.complete_token(exec, token, now, bd);
             }
         }
     }

@@ -3,7 +3,9 @@
 //! replay the identical simulation against the capture to prove
 //! determinism, and finally dump one request's full life — mesh
 //! decisions, message bindings and per-packet queue ops merged into a
-//! single timeline ordered by simulated time.
+//! single timeline ordered by simulated time, plus the latency-
+//! provenance waterfall decomposing that request's end-to-end latency
+//! into per-layer components that sum exactly to the recorded total.
 //!
 //! ```sh
 //! cargo run --release --example flight_explorer
@@ -35,11 +37,12 @@ fn main() {
     let path = PathBuf::from(out).join("flight_explorer.flight");
 
     // ---- record -----------------------------------------------------
-    let mut sim = Simulation::build(spec());
-    sim.record_to("flight_explorer", &path)
+    let mut rec_sim = Simulation::build(spec());
+    rec_sim
+        .record_to("flight_explorer", &path)
         .expect("create capture file");
-    let metrics = sim.run();
-    match sim.take_flight_outcome() {
+    let metrics = rec_sim.run();
+    match rec_sim.take_flight_outcome() {
         Some(FlightOutcome::Recorded(c)) => println!(
             "recorded {}: {} events, {} packets, {} decisions, {} msg-binds\n",
             path.display(),
@@ -71,5 +74,32 @@ fn main() {
     println!("{} correlated requests; dumping the first:\n", ids.len());
     if let Some(rid) = ids.first() {
         print!("{}", log.dump_request(rid).expect("request in log"));
+
+        // ---- latency provenance: where did this request's time go? --
+        let provs = rec_sim.request_provenance();
+        match provs.iter().find(|p| &p.request_id == rid) {
+            Some(p) => {
+                println!();
+                print!("{}", meshlayer::prof::render_waterfall(p));
+                assert_eq!(
+                    p.breakdown.sum(),
+                    p.total_ns,
+                    "provenance components must sum to the e2e latency"
+                );
+            }
+            // The first correlated request may have completed inside
+            // warmup (provenance records only measured completions);
+            // fall back to any recorded one so the waterfall prints.
+            None => {
+                if let Some(p) = provs.first() {
+                    println!(
+                        "\n(request {rid} completed during warmup; \
+                              showing {} instead)",
+                        p.request_id
+                    );
+                    print!("{}", meshlayer::prof::render_waterfall(p));
+                }
+            }
+        }
     }
 }

@@ -64,6 +64,21 @@ if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
   MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=2 MESHLAYER_WARMUP=1 \
     cargo run --offline --release -q -p meshlayer-bench --bin bench_engine -- \
     --smoke --threads 1,4 --gate BENCH_engine.json
+
+  echo "== engine observatory: profiled smoke + trace validation =="
+  # A profiled fig4 smoke must emit a Chrome trace-event file that
+  # parses, is non-empty, and has only complete spans (DESIGN.md §10);
+  # meshctl validate-trace is the checker users run by hand.
+  MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=2 MESHLAYER_WARMUP=1 \
+    cargo run --offline --release -q -p meshlayer-bench --bin fig4_latency -- \
+    --threads 1 --profile "$flight_out/ci_trace.json" 20 40
+  cargo run --offline --release -q --bin meshctl -- validate-trace "$flight_out/ci_trace.json"
+
+  echo "== engine observatory: profiling overhead ceiling =="
+  # Paired 1-thread runs: profiled throughput must stay within 5% of
+  # unprofiled (phase timers piggyback on existing clock reads).
+  MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=2 MESHLAYER_WARMUP=1 \
+    cargo run --offline --release -q -p meshlayer-bench --bin bench_engine -- --overhead-check
 fi
 
 echo "ci: all checks passed"

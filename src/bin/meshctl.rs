@@ -7,6 +7,7 @@
 //! meshctl ablate [RPS] [SECS]      # toggle each optimization site (A1-style)
 //! meshctl policy dump [PRESET]     # render a policy snapshot (baseline|prototype|full)
 //! meshctl policy diff A B          # toggle-level diff between two presets
+//! meshctl validate-trace PATH      # check a --profile Chrome trace JSON file
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (positional args only).
@@ -20,8 +21,31 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!("usage: meshctl <topology|run|trace|ablate> [RPS] [SECS]");
     eprintln!("       meshctl policy <dump [PRESET] | diff PRESET PRESET>");
+    eprintln!("       meshctl validate-trace PATH");
     eprintln!("       presets: baseline | prototype | full");
     ExitCode::from(2)
+}
+
+/// Validate a Chrome trace-event file written by a bench binary's
+/// `--profile` flag: well-formed JSON, non-empty, every span complete.
+fn cmd_validate_trace(path: &str) -> ExitCode {
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("validate-trace: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match meshlayer::prof::validate_chrome_trace(&json) {
+        Ok(spans) => {
+            println!("{path}: ok ({spans} spans)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate-trace: {path} is not a valid trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn spec_at(rps: f64, secs: u64, xlayer: XLayerConfig) -> SimSpec {
@@ -177,6 +201,12 @@ fn main() -> ExitCode {
     };
     if cmd == "policy" {
         return cmd_policy(&args[1..]);
+    }
+    if cmd == "validate-trace" {
+        let Some(path) = args.get(1) else {
+            return usage();
+        };
+        return cmd_validate_trace(path);
     }
     let rps: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(30.0);
     let secs: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(10);

@@ -20,6 +20,9 @@
 //!   xDS-like control plane.
 //! * [`flightrec`] — flight recorder: deterministic event/packet/decision
 //!   capture with replay and divergence detection.
+//! * [`prof`] — the engine observatory: wall-clock phase profiling
+//!   (Chrome trace export, Amdahl fits) and sim-time latency provenance
+//!   (per-layer latency attribution, waterfalls).
 //! * [`core`] — the paper's contribution: provenance tracing and
 //!   cross-layer prioritization, plus the end-to-end simulation world.
 //! * [`apps`] — reference applications (bookinfo/e-library, e-commerce).
@@ -37,6 +40,7 @@ pub use meshlayer_flightrec as flightrec;
 pub use meshlayer_http as http;
 pub use meshlayer_mesh as mesh;
 pub use meshlayer_netsim as netsim;
+pub use meshlayer_prof as prof;
 pub use meshlayer_realnet as realnet;
 pub use meshlayer_simcore as simcore;
 pub use meshlayer_telemetry as telemetry;

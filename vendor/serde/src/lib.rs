@@ -274,6 +274,21 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Node {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(n: &Node) -> Result<Self, Error> {
+        let items = de_seq(n, N)?;
+        let v: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        v.try_into()
+            .map_err(|_| Error::msg("array length changed during collect"))
+    }
+}
+
 macro_rules! impl_tuple {
     ($(($($t:ident . $idx:tt),+)),*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
