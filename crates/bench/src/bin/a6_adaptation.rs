@@ -178,6 +178,16 @@ fn main() {
     if let Err(e) = write_telemetry_artifacts("a6", &adapt, None) {
         eprintln!("telemetry artifacts failed: {e}");
     }
+
+    // The same flip as a causal incident timeline: burn alert →
+    // controller decision → policy push → convergence → recovery
+    // anomaly, joined from telemetry and the transition history alone
+    // (attach a flight log via `meshctl incident` for per-layer acks).
+    println!();
+    print!(
+        "{}",
+        meshlayer_core::build_incident_report(&adapt.telemetry, transitions, None).render()
+    );
     println!();
     println!("# Expectation: before the flip the adaptive run tracks the static baseline;");
     println!("# after convergence its p99 drops toward the static-optimized bound, while");

@@ -1,0 +1,104 @@
+//! Telemetry memory-ceiling check: drive a `TelemetryHub` with a
+//! fleet-scale class/gauge/pod population for a long simulated run and
+//! fail if its bookkeeping footprint ever exceeds a fixed ceiling.
+//!
+//! The retention pyramid guarantees O(classes × sketch size) steady
+//! state: ≤ `fine_cap + coarse_cap` sketches per class and capped gauge
+//! rings, independent of run length. This binary is the executable form
+//! of that claim at ~1000 classes over a multi-hour simulated horizon —
+//! `scripts/ci.sh` runs it (shortened via `--scrapes`) so a regression
+//! that reintroduces unbounded per-interval history fails the PR.
+//!
+//! Usage: `telemetry_mem [--scrapes N] [--classes N] [--ceiling-mib N]`
+//! Exit 0 if the peak hub footprint stayed under the ceiling, 1 if not.
+
+use meshlayer_simcore::{SimDuration, SimTime};
+use meshlayer_telemetry::{GaugeKind, TelemetryConfig, TelemetryHub};
+
+/// Default ceiling: 128 MiB for ~1000 classes + 200 pods + 400 gauges.
+/// Generous vs. the expected few tens of MiB, tight vs. the GBs an
+/// unbounded per-interval history would reach over this horizon.
+const DEFAULT_CEILING_MIB: usize = 128;
+
+fn arg(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("telemetry_mem: bad value {v:?} for {flag}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // 36_000 scrapes at the 100ms interval = one simulated hour.
+    let scrapes = arg(&args, "--scrapes", 36_000);
+    let classes = arg(&args, "--classes", 1000) as usize;
+    let ceiling = arg(&args, "--ceiling-mib", DEFAULT_CEILING_MIB as u64) as usize * 1024 * 1024;
+
+    let mut hub = TelemetryHub::new(TelemetryConfig::default());
+    let interval = hub.interval();
+    let pods = 200usize.min(classes);
+    eprintln!(
+        "telemetry_mem: {classes} classes, {pods} pods, {scrapes} scrapes \
+         ({}s simulated), ceiling {} MiB...",
+        scrapes * interval.as_nanos() / 1_000_000_000,
+        ceiling / (1024 * 1024),
+    );
+
+    let mut peak = 0usize;
+    for s in 0..scrapes {
+        let t0 = interval.as_nanos() * s;
+        // A few samples per class per interval, deterministic latencies
+        // spread across scales so sketches hold a realistic bucket span.
+        for c in 0..classes {
+            let class = format!("class-{c:04}");
+            for k in 0..3u64 {
+                let now = SimTime::from_nanos(t0 + k * interval.as_nanos() / 4 + 1);
+                let ns = 1_000_000 + ((s * 7 + c as u64 * 131 + k * 37) % 512) * 250_000;
+                hub.observe_latency(&class, now, Some(SimDuration::from_nanos(ns)));
+                if (s + c as u64).is_multiple_of(97) && k == 0 {
+                    hub.observe_latency(&class, now, None); // an error
+                }
+            }
+        }
+        // Pod-level samples feed the roll-up hierarchy.
+        for p in 0..pods {
+            let ns = 2_000_000 + ((s + p as u64 * 17) % 256) * 100_000;
+            hub.observe_pod_latency(
+                &format!("pod-{p:03}"),
+                &format!("svc-{:02}", p % 10),
+                &format!("zone-{}", p % 4),
+                SimDuration::from_nanos(ns),
+                false,
+            );
+        }
+        // Queue gauges oscillate; a couple hundred instances.
+        for q in 0..(classes / 5).max(1) {
+            let now = SimTime::from_nanos(t0 + 3);
+            let depth = ((s * 13 + q as u64 * 7) % 100) as f64;
+            hub.scrape_gauge(GaugeKind::LinkQueueDepth, &format!("l{q}->sw"), now, depth);
+        }
+        hub.on_scrape(SimTime::from_nanos(interval.as_nanos() * (s + 1)));
+        peak = peak.max(hub.memory_bytes());
+    }
+
+    let final_bytes = hub.memory_bytes();
+    println!(
+        "telemetry_mem: peak {:.1} MiB, final {:.1} MiB over {scrapes} scrapes \
+         ({} anomalies, ceiling {} MiB)",
+        peak as f64 / (1024.0 * 1024.0),
+        final_bytes as f64 / (1024.0 * 1024.0),
+        hub.anomalies().len(),
+        ceiling / (1024 * 1024),
+    );
+    if peak > ceiling {
+        eprintln!("telemetry_mem: FAIL: telemetry footprint exceeded the ceiling");
+        std::process::exit(1);
+    }
+    println!("telemetry_mem: ok");
+}

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incident;
 pub mod metrics;
 pub mod netplan;
 pub mod policy;
@@ -41,6 +42,7 @@ pub mod sdn;
 pub mod sim;
 pub mod xlayer;
 
+pub use incident::{build_incident_report, IncidentEvent, IncidentReport};
 pub use metrics::{EvProfile, LinkReport, PodReport, RunMetrics, TransportReport};
 pub use netplan::{Fabric, NetworkPlan};
 pub use policy::{

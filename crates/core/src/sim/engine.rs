@@ -208,7 +208,22 @@ impl Simulation {
             }
         }
 
-        self.telemetry.on_scrape(now);
+        let anomalies = self.telemetry.on_scrape(now);
+        if !anomalies.is_empty() {
+            if let Some(fr) = self.flight_rec() {
+                for a in &anomalies {
+                    fr.record_anomaly(
+                        now,
+                        a.kind.code(),
+                        a.direction,
+                        &a.subject,
+                        a.value,
+                        a.baseline,
+                        &a.detail,
+                    );
+                }
+            }
+        }
 
         // Policy-plane observability, sampled *after* the SLO evaluation so
         // a fire/clear at this scrape is visible in the same interval.

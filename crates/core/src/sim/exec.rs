@@ -375,6 +375,20 @@ impl Simulation {
             fr.record_msg_bind(now, msg, e.reply_conn, e.rpc, e.attempt, 1, rid);
         }
         let at = now + overhead + self.spec.config.app_sidecar_delay;
+        // Per-pod server-window sample for the hierarchical roll-up
+        // (pod → service → zone → mesh). Zone is the pod's node.
+        {
+            let pod = self.cluster.pod(e.pod);
+            let pod_name = pod.name.clone();
+            let zone = self.cluster.node_name(pod.node).to_string();
+            self.telemetry.observe_pod_latency(
+                &pod_name,
+                &e.service,
+                &zone,
+                at.saturating_since(e.started),
+                !status.is_success(),
+            );
+        }
         // Whatever part of the server window the behaviour tree does not
         // account for (inbound/outbound sidecar work, localhost hops) is
         // the server sidecar's share — keeping the window sum exact.

@@ -9,8 +9,8 @@
 
 use crate::log::LogWriter;
 use crate::record::{
-    DecisionKind, DecisionRecord, EndRecord, EventRecord, MetaInfo, MsgBindRecord, PacketRecord,
-    Record, NO_POD,
+    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, MetaInfo, MsgBindRecord,
+    PacketRecord, Record, NO_POD,
 };
 use meshlayer_http::StatusCode;
 use meshlayer_mesh::{Decision, DecisionSink};
@@ -55,6 +55,8 @@ pub struct CaptureCounts {
     pub decisions: u64,
     /// Message-bind records written.
     pub binds: u64,
+    /// Anomaly records written.
+    pub anomalies: u64,
 }
 
 struct Inner {
@@ -204,6 +206,31 @@ impl FlightRecorder {
             cluster: layer.to_string(),
             detail: detail.to_string(),
         });
+    }
+
+    /// Record one telemetry anomaly the online detector flagged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_anomaly(
+        &self,
+        now: SimTime,
+        kind: u8,
+        direction: i8,
+        subject: &str,
+        value: f64,
+        baseline: f64,
+        detail: &str,
+    ) {
+        let mut g = self.inner.lock();
+        g.write(&Record::Anomaly(AnomalyRecord {
+            t_ns: now.as_nanos(),
+            kind,
+            direction,
+            subject: subject.to_string(),
+            value_bits: value.to_bits(),
+            baseline_bits: baseline.to_bits(),
+            detail: detail.to_string(),
+        }));
+        g.counts.anomalies += 1;
     }
 
     /// Write the final totals frame.

@@ -10,8 +10,8 @@
 
 use crate::log::{FrameError, LogReader};
 use crate::record::{
-    DecisionKind, DecisionRecord, EndRecord, EventRecord, MetaInfo, MsgBindRecord, PacketRecord,
-    Record, NO_POD,
+    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, MetaInfo, MsgBindRecord,
+    PacketRecord, Record, NO_POD,
 };
 use meshlayer_netsim::TapOp;
 use std::collections::BTreeSet;
@@ -31,6 +31,8 @@ pub struct FlightLog {
     pub decisions: Vec<DecisionRecord>,
     /// Message-id bindings in capture order.
     pub binds: Vec<MsgBindRecord>,
+    /// Telemetry anomalies in detection order.
+    pub anomalies: Vec<AnomalyRecord>,
     /// Final totals frame, if the capture completed.
     pub end: Option<EndRecord>,
 }
@@ -47,6 +49,7 @@ impl FlightLog {
                 Record::Packet(p) => log.packets.push(p),
                 Record::Decision(d) => log.decisions.push(d),
                 Record::MsgBind(b) => log.binds.push(b),
+                Record::Anomaly(a) => log.anomalies.push(a),
                 Record::End(e) => log.end = Some(e),
             }
         }
@@ -96,11 +99,12 @@ impl FlightLog {
         }
         let _ = writeln!(
             out,
-            "records: {} events, {} packets, {} decisions, {} msg-binds",
+            "records: {} events, {} packets, {} decisions, {} msg-binds, {} anomalies",
             self.events.len(),
             self.packets.len(),
             self.decisions.len(),
-            self.binds.len()
+            self.binds.len(),
+            self.anomalies.len()
         );
         match &self.end {
             Some(e) => {

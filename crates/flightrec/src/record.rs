@@ -1,7 +1,7 @@
 //! The capture record types and their binary wire encoding.
 //!
 //! A flight-recorder log is a stream of self-framing records (see
-//! [`crate::log`] for the framing). Six record kinds exist:
+//! [`crate::log`] for the framing). Seven record kinds exist:
 //!
 //! | tag | record     | cadence                                      |
 //! |-----|------------|----------------------------------------------|
@@ -11,6 +11,7 @@
 //! | 4   | `Decision` | every sidecar routing/retry/priority choice  |
 //! | 5   | `MsgBind`  | message-id ↔ RPC/request-id correlation      |
 //! | 6   | `End`      | once, last frame — totals + final digest     |
+//! | 7   | `Anomaly`  | every telemetry anomaly the detector flags   |
 //!
 //! All multi-byte integers are little-endian. Strings are a `u16`
 //! length followed by UTF-8 bytes. The `Meta` payload is JSON so the
@@ -37,6 +38,8 @@ pub const TAG_DECISION: u8 = 4;
 pub const TAG_MSG_BIND: u8 = 5;
 /// Frame tag for [`Record::End`].
 pub const TAG_END: u8 = 6;
+/// Frame tag for [`Record::Anomaly`].
+pub const TAG_ANOMALY: u8 = 7;
 
 /// Sentinel for "no pod chosen" in [`DecisionRecord::chosen`].
 pub const NO_POD: u32 = u32::MAX;
@@ -206,6 +209,29 @@ pub struct MsgBindRecord {
     pub request_id: String,
 }
 
+/// One anomaly flagged by the telemetry plane's online detector.
+///
+/// The f64 observation/baseline ride as IEEE-754 bit patterns so the
+/// record stays fixed-layout and byte-exact across platforms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnomalyRecord {
+    /// Simulated time of the scrape that flagged the anomaly, nanoseconds.
+    pub t_ns: u64,
+    /// Anomaly-kind discriminant (telemetry-defined: 0 latency shift,
+    /// 1 error burst, 2 queue growth).
+    pub kind: u8,
+    /// Shift direction: 1 up, -1 down, 0 not directional.
+    pub direction: i8,
+    /// What the anomaly is about (class, or `metric/instance`).
+    pub subject: String,
+    /// Observed value, `f64::to_bits`.
+    pub value_bits: u64,
+    /// Baseline the observation was compared against, `f64::to_bits`.
+    pub baseline_bits: u64,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
 /// Final frame: totals and the final chained digest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EndRecord {
@@ -230,6 +256,8 @@ pub enum Record {
     MsgBind(MsgBindRecord),
     /// Run totals (last frame).
     End(EndRecord),
+    /// Telemetry anomaly.
+    Anomaly(AnomalyRecord),
 }
 
 /// Why a record payload failed to decode.
@@ -326,6 +354,7 @@ impl Record {
             Record::Decision(_) => TAG_DECISION,
             Record::MsgBind(_) => TAG_MSG_BIND,
             Record::End(_) => TAG_END,
+            Record::Anomaly(_) => TAG_ANOMALY,
         }
     }
 
@@ -385,6 +414,15 @@ impl Record {
                 out.extend_from_slice(&e.events.to_le_bytes());
                 out.extend_from_slice(&e.digest.to_le_bytes());
             }
+            Record::Anomaly(a) => {
+                out.extend_from_slice(&a.t_ns.to_le_bytes());
+                out.push(a.kind);
+                out.push(a.direction as u8);
+                out.extend_from_slice(&a.value_bits.to_le_bytes());
+                out.extend_from_slice(&a.baseline_bits.to_le_bytes());
+                put_str(&mut out, &a.subject);
+                put_str(&mut out, &a.detail);
+            }
         }
         out
     }
@@ -440,6 +478,15 @@ impl Record {
             TAG_END => Record::End(EndRecord {
                 events: c.u64()?,
                 digest: c.u64()?,
+            }),
+            TAG_ANOMALY => Record::Anomaly(AnomalyRecord {
+                t_ns: c.u64()?,
+                kind: c.u8()?,
+                direction: c.u8()? as i8,
+                value_bits: c.u64()?,
+                baseline_bits: c.u64()?,
+                subject: c.str()?,
+                detail: c.str()?,
             }),
             t => return Err(DecodeError::BadTag(t)),
         };
@@ -510,6 +557,15 @@ mod tests {
         roundtrip(Record::End(EndRecord {
             events: 100,
             digest: 77,
+        }));
+        roundtrip(Record::Anomaly(AnomalyRecord {
+            t_ns: 2_500_000_000,
+            kind: 0,
+            direction: -1,
+            subject: "latency-sensitive".into(),
+            value_bits: 23.4_f64.to_bits(),
+            baseline_bits: 106.0_f64.to_bits(),
+            detail: "p99 23.4ms vs baseline 106.0ms".into(),
         }));
     }
 

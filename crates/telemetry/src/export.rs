@@ -4,7 +4,7 @@
 //! asserted in tests and downstream tooling can re-ingest the artifacts
 //! written under `results/`.
 
-use crate::scrape::TelemetrySummary;
+use crate::scrape::{GaugeKind, TelemetrySummary};
 use meshlayer_mesh::Span;
 use serde::Node;
 use std::fmt::Write as _;
@@ -51,11 +51,17 @@ pub fn prometheus_text(summary: &TelemetrySummary) -> String {
     out.push_str("# HELP meshlayer_slo_alerts_total SLO burn-rate alerts fired during the run.\n");
     out.push_str("# TYPE meshlayer_slo_alerts_total counter\n");
     let _ = writeln!(out, "meshlayer_slo_alerts_total {}", summary.alerts.len());
+    out.push_str("# HELP meshlayer_anomalies_total Anomalies flagged by the online detector.\n");
+    out.push_str("# TYPE meshlayer_anomalies_total counter\n");
+    let _ = writeln!(out, "meshlayer_anomalies_total {}", summary.anomalies.len());
 
     let mut last_family = "";
     for g in &summary.gauges {
         let Some(last) = g.last() else { continue };
         if g.name != last_family {
+            if let Some(kind) = GaugeKind::all().iter().find(|k| k.metric_name() == g.name) {
+                let _ = writeln!(out, "# HELP meshlayer_{} {}", g.name, kind.help());
+            }
             let _ = writeln!(out, "# TYPE meshlayer_{} gauge", g.name);
             last_family = &g.name;
         }
@@ -69,6 +75,9 @@ pub fn prometheus_text(summary: &TelemetrySummary) -> String {
     }
 
     if summary.classes.iter().any(|c| !c.points.is_empty()) {
+        out.push_str(
+            "# HELP meshlayer_class_latency_ms Last-interval latency quantiles per traffic class.\n",
+        );
         out.push_str("# TYPE meshlayer_class_latency_ms gauge\n");
         for c in &summary.classes {
             let Some(p) = c.points.iter().rev().find(|p| p.count > 0) else {
@@ -79,6 +88,25 @@ pub fn prometheus_text(summary: &TelemetrySummary) -> String {
                     out,
                     "meshlayer_class_latency_ms{{class=\"{}\",quantile=\"{}\"}} {}",
                     escape_label(&c.class),
+                    q,
+                    fmt_value(v)
+                );
+            }
+        }
+    }
+
+    if !summary.rollup.is_empty() {
+        out.push_str(
+            "# HELP meshlayer_rollup_latency_ms Whole-run latency quantiles rolled up pod -> service -> zone -> mesh.\n",
+        );
+        out.push_str("# TYPE meshlayer_rollup_latency_ms gauge\n");
+        for r in &summary.rollup {
+            for (q, v) in [("0.5", r.p50_ms), ("0.9", r.p90_ms), ("0.99", r.p99_ms)] {
+                let _ = writeln!(
+                    out,
+                    "meshlayer_rollup_latency_ms{{level=\"{}\",name=\"{}\",quantile=\"{}\"}} {}",
+                    escape_label(&r.level),
+                    escape_label(&r.name),
                     q,
                     fmt_value(v)
                 );
@@ -187,16 +215,20 @@ fn split_label_pairs(s: &str) -> Vec<String> {
 // ---------------------------------------------------------------------------
 
 /// Per-class interval series as CSV:
-/// `class,t_s,count,errors,mean_ms,p50_ms,p90_ms,p99_ms,max_ms`.
+/// `class,t_s,len_s,count,errors,mean_ms,p50_ms,p90_ms,p99_ms,max_ms`.
+/// `len_s` exceeds the scrape interval for intervals the retention policy
+/// rolled up into coarser resolution.
 pub fn latency_csv(summary: &TelemetrySummary) -> String {
-    let mut out = String::from("class,t_s,count,errors,mean_ms,p50_ms,p90_ms,p99_ms,max_ms\n");
+    let mut out =
+        String::from("class,t_s,len_s,count,errors,mean_ms,p50_ms,p90_ms,p99_ms,max_ms\n");
     for c in &summary.classes {
         for p in &c.points {
             let _ = writeln!(
                 out,
-                "{},{:.3},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                "{},{:.3},{:.3},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
                 c.class,
                 p.t_s,
+                p.len_s,
                 p.count,
                 p.errors,
                 p.mean_ms,
@@ -206,6 +238,50 @@ pub fn latency_csv(summary: &TelemetrySummary) -> String {
                 p.max_ms
             );
         }
+    }
+    out
+}
+
+/// Hierarchical roll-up as CSV:
+/// `level,name,parent,count,errors,mean_ms,p50_ms,p90_ms,p99_ms,max_ms`.
+pub fn rollup_csv(summary: &TelemetrySummary) -> String {
+    let mut out =
+        String::from("level,name,parent,count,errors,mean_ms,p50_ms,p90_ms,p99_ms,max_ms\n");
+    for r in &summary.rollup {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            r.level,
+            r.name,
+            r.parent,
+            r.count,
+            r.errors,
+            r.mean_ms,
+            r.p50_ms,
+            r.p90_ms,
+            r.p99_ms,
+            r.max_ms
+        );
+    }
+    out
+}
+
+/// Detector anomalies as CSV:
+/// `t_s,kind,subject,direction,value,baseline,detail`.
+pub fn anomalies_csv(summary: &TelemetrySummary) -> String {
+    let mut out = String::from("t_s,kind,subject,direction,value,baseline,detail\n");
+    for a in &summary.anomalies {
+        let _ = writeln!(
+            out,
+            "{:.3},{},{},{},{:.4},{:.4},{}",
+            a.at_s,
+            a.kind.label(),
+            a.subject,
+            a.direction,
+            a.value,
+            a.baseline,
+            a.detail.replace(',', ";")
+        );
     }
     out
 }
@@ -409,6 +485,7 @@ mod tests {
         for i in 0..30u64 {
             let now = SimTime::from_millis(i * 20);
             hub.observe_latency("ls", now, Some(SimDuration::from_millis(3)));
+            hub.observe_pod_latency("web-0", "web", "node0", SimDuration::from_millis(2), false);
             if i % 5 == 0 {
                 hub.scrape_gauge(GaugeKind::LinkUtilization, "a->b", now, 0.42);
                 hub.scrape_gauge(GaugeKind::LinkDrops, "a->b", now, i as f64);
@@ -437,6 +514,35 @@ mod tests {
             .expect("p99 sample");
         assert_eq!(p99.label("class"), Some("ls"));
         assert!(p99.value > 0.0);
+        let mesh = samples
+            .iter()
+            .find(|s| {
+                s.name == "meshlayer_rollup_latency_ms"
+                    && s.label("level") == Some("mesh")
+                    && s.label("quantile") == Some("0.5")
+            })
+            .expect("mesh rollup sample");
+        assert!(mesh.value > 0.0);
+    }
+
+    #[test]
+    fn prometheus_emits_help_and_type_for_every_family() {
+        let text = prometheus_text(&demo_summary());
+        let families: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .map(|l| l.split(['{', ' ']).next().unwrap())
+            .collect();
+        for family in families {
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "missing TYPE for {family}"
+            );
+        }
     }
 
     #[test]
@@ -451,9 +557,12 @@ mod tests {
         let s = demo_summary();
         let lat = latency_csv(&s);
         assert!(lat.lines().count() > 3, "{lat}");
-        assert!(lat.starts_with("class,t_s,"));
+        assert!(lat.starts_with("class,t_s,len_s,"));
         let g = gauges_csv(&s);
         assert!(g.lines().any(|l| l.starts_with("link_utilization,a->b,")));
+        let r = rollup_csv(&s);
+        assert!(r.lines().any(|l| l.starts_with("mesh,mesh,,")), "{r}");
+        assert!(r.lines().any(|l| l.starts_with("pod,web-0,web,")), "{r}");
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! The telemetry hub: collection point for the engine's scrape loop.
 //!
 //! The simulation engine drives a [`TelemetryHub`] from two directions:
-//! continuously, as requests complete (`observe_latency`), and at every
-//! `TelemetryTick` (`scrape_gauge` + `on_scrape`), when it samples links,
-//! pods, and sidecar counters. The hub owns the per-class latency series,
-//! the gauge series, and the SLO monitor, and renders everything into a
-//! serializable [`TelemetrySummary`] at end of run.
+//! continuously, as requests complete (`observe_latency`,
+//! `observe_pod_latency`), and at every `TelemetryTick` (`scrape_gauge` +
+//! `on_scrape`), when it samples links, pods, and sidecar counters. The
+//! hub owns the per-class latency series, the gauge series, the per-pod
+//! roll-up sketches, the online anomaly detector, and the SLO monitor,
+//! and renders everything into a serializable [`TelemetrySummary`] at end
+//! of run. Retention is bounded: every series rolls old intervals up into
+//! coarser sketches (see [`RetentionPolicy`]), so hub memory is
+//! O(classes × sketch size), not O(run length).
 
-use crate::series::{GaugeSeries, IntervalStats, LatencySeries};
+use crate::anomaly::{AnomalyConfig, AnomalyDetector, AnomalyEvent};
+use crate::rollup::{build_rollup, PodStats, RollupRow};
+use crate::series::{GaugeSeries, IntervalStats, LatencySeries, RetentionPolicy};
+use crate::sketch::QuantileSketch;
 use crate::slo::{Alert, BurnRateRule, SloMonitor, SloTarget};
 use meshlayer_simcore::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -55,6 +62,44 @@ impl GaugeKind {
             GaugeKind::SloBurning => "slo_burning",
         }
     }
+
+    /// One-line `# HELP` text for the Prometheus exposition.
+    pub fn help(self) -> &'static str {
+        match self {
+            GaugeKind::LinkUtilization => "Link utilization in [0,1].",
+            GaugeKind::LinkQueueDepth => "Packets queued on the link qdisc.",
+            GaugeKind::LinkDrops => "Packets dropped on the link since the last scrape.",
+            GaugeKind::PodComputeQueue => "Requests waiting for pod compute.",
+            GaugeKind::SidecarRequests => "Requests seen by the sidecar since the last scrape.",
+            GaugeKind::SidecarRetries => "Sidecar retries since the last scrape.",
+            GaugeKind::SidecarFailFast => "Sidecar fail-fast rejections since the last scrape.",
+            GaugeKind::Sidecar5xx => "Sidecar 5xx responses since the last scrape.",
+            GaugeKind::PolicyVersion => "Policy snapshot version applied fleet-wide.",
+            GaugeKind::SloBurning => "Whether the class's SLO burn alert is firing (0/1).",
+        }
+    }
+
+    /// Whether this gauge measures a queue depth the anomaly detector
+    /// should watch for unbounded growth.
+    pub fn is_queue(self) -> bool {
+        matches!(self, GaugeKind::LinkQueueDepth | GaugeKind::PodComputeQueue)
+    }
+
+    /// Every kind, in export order.
+    pub fn all() -> [GaugeKind; 10] {
+        [
+            GaugeKind::LinkUtilization,
+            GaugeKind::LinkQueueDepth,
+            GaugeKind::LinkDrops,
+            GaugeKind::PodComputeQueue,
+            GaugeKind::SidecarRequests,
+            GaugeKind::SidecarRetries,
+            GaugeKind::SidecarFailFast,
+            GaugeKind::Sidecar5xx,
+            GaugeKind::PolicyVersion,
+            GaugeKind::SloBurning,
+        ]
+    }
 }
 
 /// Telemetry configuration carried in the simulation spec.
@@ -66,6 +111,10 @@ pub struct TelemetryConfig {
     pub rule: BurnRateRule,
     /// SLO targets to monitor.
     pub targets: Vec<SloTarget>,
+    /// Series retention / roll-up policy.
+    pub retention: RetentionPolicy,
+    /// Online anomaly-detector thresholds.
+    pub anomaly: AnomalyConfig,
 }
 
 impl Default for TelemetryConfig {
@@ -75,6 +124,8 @@ impl Default for TelemetryConfig {
             interval: SimDuration::from_millis(100),
             rule: BurnRateRule::default(),
             targets: Vec::new(),
+            retention: RetentionPolicy::default(),
+            anomaly: AnomalyConfig::default(),
         }
     }
 }
@@ -100,6 +151,10 @@ pub struct TelemetrySummary {
     pub gauges: Vec<GaugeSeries>,
     /// SLO alerts fired during the run.
     pub alerts: Vec<Alert>,
+    /// Anomalies the online detector flagged, in detection order.
+    pub anomalies: Vec<AnomalyEvent>,
+    /// Hierarchical pod → service → zone → mesh latency roll-up.
+    pub rollup: Vec<RollupRow>,
 }
 
 /// The latency series of one traffic class.
@@ -107,7 +162,7 @@ pub struct TelemetrySummary {
 pub struct ClassSeries {
     /// Traffic class (workload name).
     pub class: String,
-    /// Closed intervals, oldest first.
+    /// Closed intervals, oldest first (coarse roll-ups before fine).
     pub points: Vec<IntervalStats>,
 }
 
@@ -123,6 +178,13 @@ impl TelemetrySummary {
             .iter()
             .find(|g| g.name == kind.metric_name() && g.instance == instance)
     }
+
+    /// The roll-up row for one (level, name) pair.
+    pub fn rollup_row(&self, level: &str, name: &str) -> Option<&RollupRow> {
+        self.rollup
+            .iter()
+            .find(|r| r.level == level && r.name == name)
+    }
 }
 
 /// Live collection state driven by the engine.
@@ -130,6 +192,9 @@ pub struct TelemetryHub {
     config: TelemetryConfig,
     classes: BTreeMap<String, LatencySeries>,
     gauges: BTreeMap<(GaugeKind, String), GaugeSeries>,
+    pods: BTreeMap<String, PodStats>,
+    detector: AnomalyDetector,
+    anomalies: Vec<AnomalyEvent>,
     slo: SloMonitor,
     scrapes: u64,
 }
@@ -138,10 +203,14 @@ impl TelemetryHub {
     /// Hub with the given configuration.
     pub fn new(config: TelemetryConfig) -> TelemetryHub {
         let slo = SloMonitor::new(config.rule.clone(), config.targets.clone());
+        let detector = AnomalyDetector::new(config.anomaly.clone());
         TelemetryHub {
             config,
             classes: BTreeMap::new(),
             gauges: BTreeMap::new(),
+            pods: BTreeMap::new(),
+            detector,
+            anomalies: Vec::new(),
             slo,
             scrapes: 0,
         }
@@ -156,10 +225,11 @@ impl TelemetryHub {
     /// send time) or `None` for a failure.
     pub fn observe_latency(&mut self, class: &str, now: SimTime, latency: Option<SimDuration>) {
         let interval = self.config.interval;
+        let retention = self.config.retention.clone();
         let series = self
             .classes
             .entry(class.to_string())
-            .or_insert_with(|| LatencySeries::new(interval));
+            .or_insert_with(|| LatencySeries::with_retention(interval, retention));
         match latency {
             Some(l) => series.record(now, l),
             None => series.record_error(now),
@@ -167,22 +237,66 @@ impl TelemetryHub {
         self.slo.observe(class, now, latency);
     }
 
+    /// Record one server-window sample at a pod, for the hierarchical
+    /// roll-up. `zone` is the node the pod runs on.
+    pub fn observe_pod_latency(
+        &mut self,
+        pod: &str,
+        service: &str,
+        zone: &str,
+        latency: SimDuration,
+        error: bool,
+    ) {
+        let sub_bits = self.config.retention.sub_bits;
+        let stats = self
+            .pods
+            .entry(pod.to_string())
+            .or_insert_with(|| PodStats {
+                service: service.to_string(),
+                zone: zone.to_string(),
+                errors: 0,
+                sketch: QuantileSketch::new(sub_bits),
+            });
+        stats.sketch.record_duration(latency);
+        if error {
+            stats.errors += 1;
+        }
+    }
+
     /// Record one gauge sample for the current scrape.
     pub fn scrape_gauge(&mut self, kind: GaugeKind, instance: &str, now: SimTime, value: f64) {
+        let cap = self.config.retention.gauge_cap;
         self.gauges
             .entry((kind, instance.to_string()))
-            .or_insert_with(|| GaugeSeries::new(kind.metric_name(), instance))
+            .or_insert_with(|| GaugeSeries::with_cap(kind.metric_name(), instance, cap))
             .push(now, value);
     }
 
-    /// Finish one scrape: roll latency intervals forward and evaluate SLO
-    /// rules. Call after the gauge samples for this tick.
-    pub fn on_scrape(&mut self, now: SimTime) {
+    /// Finish one scrape: roll latency intervals forward, run the anomaly
+    /// detector over everything that closed, and evaluate SLO rules. Call
+    /// after the gauge samples for this tick. Returns the anomalies newly
+    /// flagged on this scrape, in deterministic (class-sorted) order.
+    pub fn on_scrape(&mut self, now: SimTime) -> Vec<AnomalyEvent> {
         self.scrapes += 1;
-        for series in self.classes.values_mut() {
+        let mut fresh = Vec::new();
+        for (class, series) in self.classes.iter_mut() {
             series.advance_to(now);
+            self.detector.scan_class(class, series, &mut fresh);
+        }
+        for ((kind, instance), series) in self.gauges.iter() {
+            if kind.is_queue() {
+                self.detector
+                    .scan_queue(kind.metric_name(), instance, &series.points, &mut fresh);
+            }
         }
         self.slo.evaluate(now);
+        self.anomalies.extend(fresh.iter().cloned());
+        let cap = self.config.retention.anomaly_cap;
+        if self.anomalies.len() > cap {
+            let drop = self.anomalies.len() - cap;
+            self.anomalies.drain(..drop);
+        }
+        fresh
     }
 
     /// Number of scrapes so far.
@@ -193,6 +307,13 @@ impl TelemetryHub {
     /// Alerts fired so far.
     pub fn alerts(&self) -> &[Alert] {
         self.slo.alerts()
+    }
+
+    /// Anomalies flagged so far (the most recent `anomaly_cap` are
+    /// retained; older ones age out of the hub but stay in any attached
+    /// flight recording).
+    pub fn anomalies(&self) -> &[AnomalyEvent] {
+        &self.anomalies
     }
 
     /// Whether `class`'s SLO alert is firing as of the last scrape.
@@ -207,6 +328,39 @@ impl TelemetryHub {
             .iter()
             .map(|t| t.class.clone())
             .collect()
+    }
+
+    /// Bytes of latency/gauge/roll-up/anomaly state the hub currently
+    /// holds. Bounded by the retention policy regardless of run length —
+    /// this is what the ci memory-ceiling check asserts on.
+    pub fn memory_bytes(&self) -> usize {
+        let classes: usize = self
+            .classes
+            .iter()
+            .map(|(name, s)| name.len() + s.mem_bytes())
+            .sum();
+        let gauges: usize = self
+            .gauges
+            .iter()
+            .map(|((_, instance), g)| instance.len() + g.mem_bytes())
+            .sum();
+        let pods: usize = self
+            .pods
+            .iter()
+            .map(|(name, p)| {
+                name.len()
+                    + p.service.len()
+                    + p.zone.len()
+                    + p.sketch.mem_bytes()
+                    + std::mem::size_of::<PodStats>()
+            })
+            .sum();
+        let anomalies: usize = self
+            .anomalies
+            .iter()
+            .map(|a| std::mem::size_of::<AnomalyEvent>() + a.subject.len() + a.detail.len())
+            .sum();
+        classes + gauges + pods + anomalies
     }
 
     /// Close all series and render the summary.
@@ -224,6 +378,8 @@ impl TelemetryHub {
                 .collect(),
             gauges: self.gauges.into_values().collect(),
             alerts: self.slo.into_alerts(),
+            anomalies: self.anomalies,
+            rollup: build_rollup(&self.pods),
         }
     }
 }
@@ -270,5 +426,61 @@ mod tests {
         assert!(!hub.alerts().is_empty());
         let summary = hub.finish(SimTime::from_secs(3));
         assert!(!summary.alerts.is_empty());
+    }
+
+    #[test]
+    fn hub_builds_pod_rollup() {
+        let mut hub = TelemetryHub::new(TelemetryConfig::default());
+        for i in 0..20u64 {
+            let pod = if i % 2 == 0 { "web-0" } else { "web-1" };
+            let zone = if i % 2 == 0 { "node0" } else { "node1" };
+            hub.observe_pod_latency(pod, "web", zone, SimDuration::from_millis(3), i % 7 == 0);
+        }
+        let summary = hub.finish(SimTime::from_secs(1));
+        let mesh = summary.rollup_row("mesh", "mesh").expect("mesh row");
+        assert_eq!(mesh.count, 20);
+        assert_eq!(mesh.errors, 3);
+        assert_eq!(summary.rollup_row("service", "web").unwrap().count, 20);
+        assert_eq!(summary.rollup_row("pod", "web-0").unwrap().count, 10);
+        assert_eq!(summary.rollup_row("zone", "node1").unwrap().count, 10);
+    }
+
+    #[test]
+    fn hub_flags_latency_shift_anomaly() {
+        let mut hub = TelemetryHub::new(TelemetryConfig::default());
+        let mut events = Vec::new();
+        for i in 0..30u64 {
+            let lat = if i < 15 { 5 } else { 120 };
+            for j in 0..8u64 {
+                let now = SimTime::from_millis(i * 100 + j * 10);
+                hub.observe_latency("ls", now, Some(SimDuration::from_millis(lat)));
+            }
+            events.extend(hub.on_scrape(SimTime::from_millis((i + 1) * 100)));
+        }
+        assert_eq!(events.len(), 1, "events: {events:?}");
+        assert_eq!(events[0].subject, "ls");
+        assert_eq!(events[0].direction, 1);
+        let summary = hub.finish(SimTime::from_secs(3));
+        assert_eq!(summary.anomalies.len(), 1);
+    }
+
+    #[test]
+    fn hub_memory_is_bounded_over_long_runs() {
+        let mut hub = TelemetryHub::new(TelemetryConfig::default());
+        let mut at_1k = 0usize;
+        for i in 0..20_000u64 {
+            let now = SimTime::from_millis(i * 100);
+            hub.observe_latency("ls", now, Some(SimDuration::from_millis(2)));
+            hub.scrape_gauge(GaugeKind::LinkUtilization, "a->b", now, 0.5);
+            hub.on_scrape(now);
+            if i == 1_000 {
+                at_1k = hub.memory_bytes();
+            }
+        }
+        let end = hub.memory_bytes();
+        assert!(
+            end <= at_1k * 2,
+            "memory grew: {at_1k} bytes at 1k scrapes, {end} at 20k"
+        );
     }
 }

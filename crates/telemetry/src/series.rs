@@ -1,20 +1,84 @@
-//! Interval-bucketed time series.
+//! Interval-bucketed time series with bounded, age-tiered retention.
 //!
 //! Two shapes cover everything the scraper collects: [`LatencySeries`]
 //! aggregates latency samples into fixed intervals through a streaming
-//! [`Histogram`] (one histogram per open interval, summarized and reset at
-//! each boundary — memory stays O(intervals), not O(samples)), and
-//! [`GaugeSeries`] records point-in-time samples of instantaneous values
-//! (link utilization, queue depths, counter deltas).
+//! [`QuantileSketch`] (one sketch per open interval, closed at each
+//! boundary), and [`GaugeSeries`] records point-in-time samples of
+//! instantaneous values (link utilization, queue depths, counter deltas).
+//!
+//! Neither grows with run length. Closed latency intervals are kept at
+//! full resolution only for a bounded recent window; beyond it the
+//! [`RetentionPolicy`] rolls the oldest `rollup_factor` fine intervals
+//! into one coarse interval by sketch merge, and caps the coarse tier by
+//! merging its two oldest entries (their span doubles). Steady-state
+//! memory is O(classes × sketch size) however long the run: old history
+//! loses time resolution, never its quantile fidelity. Gauge series cap
+//! their points by pairwise-averaging the oldest half on overflow.
 
-use meshlayer_simcore::{Histogram, SimDuration, SimTime};
+use crate::sketch::{IntervalSketch, QuantileSketch, DEFAULT_SUB_BITS};
+use meshlayer_simcore::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Retention/roll-up configuration shared by every telemetry series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RetentionPolicy {
+    /// Sketch resolution: `1 << sub_bits` sub-buckets per power-of-two
+    /// band (relative error `2^-sub_bits`).
+    pub sub_bits: u32,
+    /// Closed fine intervals kept at scrape resolution before roll-up.
+    pub fine_cap: usize,
+    /// Fine intervals merged into one coarse interval per roll-up.
+    pub rollup_factor: usize,
+    /// Coarse intervals kept; overflow merges the two oldest (their
+    /// span doubles, so the count never exceeds this cap).
+    pub coarse_cap: usize,
+    /// Points kept per gauge series before the oldest half is
+    /// pairwise-averaged down.
+    pub gauge_cap: usize,
+    /// Anomaly events retained by the hub (oldest dropped beyond this);
+    /// flight-recorded anomaly frames are unaffected.
+    pub anomaly_cap: usize,
+}
+
+impl Default for RetentionPolicy {
+    /// At the default 100 ms scrape interval: 4.8 s of full-resolution
+    /// history (past every SLO burn window), then 800 ms coarse
+    /// intervals, ≤ 73 sketches per class forever.
+    fn default() -> Self {
+        RetentionPolicy {
+            sub_bits: DEFAULT_SUB_BITS,
+            fine_cap: 48,
+            rollup_factor: 8,
+            coarse_cap: 24,
+            gauge_cap: 1024,
+            anomaly_cap: 4096,
+        }
+    }
+}
+
+impl RetentionPolicy {
+    /// A policy that never rolls up (for tests pinning fine behaviour).
+    pub fn unbounded() -> Self {
+        RetentionPolicy {
+            sub_bits: DEFAULT_SUB_BITS,
+            fine_cap: usize::MAX,
+            rollup_factor: 8,
+            coarse_cap: usize::MAX,
+            gauge_cap: usize::MAX,
+            anomaly_cap: usize::MAX,
+        }
+    }
+}
 
 /// Summary of one closed latency interval.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct IntervalStats {
     /// Interval start, seconds of simulated time.
     pub t_s: f64,
+    /// Interval length, seconds — the scrape interval for fine
+    /// intervals, a multiple of it for rolled-up ones.
+    pub len_s: f64,
     /// Samples recorded in the interval.
     pub count: u64,
     /// Failures observed in the interval (recorded alongside latencies).
@@ -31,26 +95,67 @@ pub struct IntervalStats {
     pub max_ms: f64,
 }
 
-/// Per-interval latency quantiles computed from a streaming histogram.
+impl IntervalStats {
+    /// Summarize one closed interval sketch.
+    pub fn from_interval(iv: &IntervalSketch) -> IntervalStats {
+        let s = &iv.sketch;
+        IntervalStats {
+            t_s: iv.start.as_secs_f64(),
+            len_s: iv.len.as_secs_f64(),
+            count: s.count(),
+            errors: iv.errors,
+            mean_ms: s.mean() / 1e6,
+            p50_ms: s.value_at_quantile(0.50) as f64 / 1e6,
+            p90_ms: s.value_at_quantile(0.90) as f64 / 1e6,
+            p99_ms: s.value_at_quantile(0.99) as f64 / 1e6,
+            max_ms: s.max() as f64 / 1e6,
+        }
+    }
+}
+
+/// Per-interval latency quantiles computed from streaming sketches, with
+/// age-based roll-up keeping total memory bounded.
 #[derive(Clone, Debug)]
 pub struct LatencySeries {
     interval: SimDuration,
+    retention: RetentionPolicy,
     cur_start: SimTime,
-    cur: Histogram,
+    cur: QuantileSketch,
     cur_errors: u64,
-    points: Vec<IntervalStats>,
+    /// Recent closed intervals at scrape resolution, oldest first.
+    fine: VecDeque<IntervalSketch>,
+    /// Rolled-up intervals, oldest first (spans grow toward the front).
+    coarse: VecDeque<IntervalSketch>,
+    /// Fine intervals absorbed into the coarse tier so far.
+    rolled_up: u64,
+    /// Total intervals closed so far (monotone; drives roll-up).
+    closed: u64,
 }
 
 impl LatencySeries {
-    /// Series bucketing samples into intervals of the given length.
+    /// Series bucketing samples into intervals of the given length,
+    /// with the default retention policy.
     pub fn new(interval: SimDuration) -> LatencySeries {
+        LatencySeries::with_retention(interval, RetentionPolicy::default())
+    }
+
+    /// Series with an explicit retention policy.
+    pub fn with_retention(interval: SimDuration, retention: RetentionPolicy) -> LatencySeries {
         assert!(interval > SimDuration::ZERO, "zero telemetry interval");
+        assert!(retention.fine_cap >= 1, "fine_cap must be >= 1");
+        assert!(retention.rollup_factor >= 2, "rollup_factor must be >= 2");
+        assert!(retention.coarse_cap >= 2, "coarse_cap must be >= 2");
+        let cur = QuantileSketch::new(retention.sub_bits);
         LatencySeries {
             interval,
+            retention,
             cur_start: SimTime::ZERO,
-            cur: Histogram::new(),
+            cur,
             cur_errors: 0,
-            points: Vec::new(),
+            fine: VecDeque::new(),
+            coarse: VecDeque::new(),
+            rolled_up: 0,
+            closed: 0,
         }
     }
 
@@ -59,21 +164,43 @@ impl LatencySeries {
         self.interval
     }
 
+    /// The retention policy in force.
+    pub fn retention(&self) -> &RetentionPolicy {
+        &self.retention
+    }
+
     fn close_current(&mut self) {
-        let h = &self.cur;
-        self.points.push(IntervalStats {
-            t_s: self.cur_start.as_secs_f64(),
-            count: h.count(),
-            errors: self.cur_errors,
-            mean_ms: h.mean() / 1e6,
-            p50_ms: h.p50().as_millis_f64(),
-            p90_ms: h.p90().as_millis_f64(),
-            p99_ms: h.p99().as_millis_f64(),
-            max_ms: h.max() as f64 / 1e6,
-        });
-        self.cur.clear();
+        let mut iv = IntervalSketch::new(self.cur_start, self.interval, self.retention.sub_bits);
+        std::mem::swap(&mut iv.sketch, &mut self.cur);
+        iv.errors = self.cur_errors;
+        self.fine.push_back(iv);
         self.cur_errors = 0;
         self.cur_start += self.interval;
+        self.closed += 1;
+        self.enforce_retention();
+    }
+
+    /// Age-based roll-up: oldest `rollup_factor` fine intervals merge
+    /// into one coarse interval; the coarse tier caps itself by merging
+    /// its two oldest entries. Triggered purely by closed-interval
+    /// counts, so it is bit-deterministic for a given observation stream.
+    fn enforce_retention(&mut self) {
+        let r = &self.retention;
+        while self.fine.len() > r.fine_cap && self.fine.len() >= r.rollup_factor {
+            let mut merged = self.fine.pop_front().expect("nonempty");
+            for _ in 1..r.rollup_factor {
+                let next = self.fine.pop_front().expect("len checked");
+                merged.absorb(&next);
+            }
+            self.rolled_up += r.rollup_factor as u64;
+            self.coarse.push_back(merged);
+            while self.coarse.len() > r.coarse_cap {
+                let mut oldest = self.coarse.pop_front().expect("nonempty");
+                let next = self.coarse.pop_front().expect("cap >= 2");
+                oldest.absorb(&next);
+                self.coarse.push_front(oldest);
+            }
+        }
     }
 
     /// Close every interval that ends at or before `now`.
@@ -103,9 +230,35 @@ impl LatencySeries {
         }
     }
 
-    /// All closed intervals, oldest first.
-    pub fn points(&self) -> &[IntervalStats] {
-        &self.points
+    /// All closed intervals, oldest first (coarse history, then the
+    /// fine window), summarized.
+    pub fn points(&self) -> Vec<IntervalStats> {
+        self.coarse
+            .iter()
+            .chain(self.fine.iter())
+            .map(IntervalStats::from_interval)
+            .collect()
+    }
+
+    /// The retained closed intervals (coarse then fine), with sketches.
+    pub fn intervals(&self) -> impl Iterator<Item = &IntervalSketch> {
+        self.coarse.iter().chain(self.fine.iter())
+    }
+
+    /// Intervals closed so far (monotone, unaffected by roll-up).
+    pub fn closed_count(&self) -> u64 {
+        self.closed
+    }
+
+    /// The `n` most recently closed intervals still at fine resolution,
+    /// oldest first. Feeds the anomaly detector.
+    pub fn recent_fine(&self, n: usize) -> impl Iterator<Item = &IntervalSketch> {
+        self.fine.iter().skip(self.fine.len().saturating_sub(n))
+    }
+
+    /// Fine intervals absorbed into the coarse tier so far.
+    pub fn rolled_up(&self) -> u64 {
+        self.rolled_up
     }
 
     /// Samples in the trailing window ending at the open interval: total
@@ -115,12 +268,12 @@ impl LatencySeries {
         let from_s = SimDuration::from_nanos(from.as_nanos()).as_secs_f64();
         let mut total = self.cur.count();
         let mut errors = self.cur_errors;
-        for p in self.points.iter().rev() {
-            if p.t_s + self.interval.as_secs_f64() <= from_s {
+        for iv in self.fine.iter().rev().chain(self.coarse.iter().rev()) {
+            if iv.start.as_secs_f64() + iv.len.as_secs_f64() <= from_s {
                 break;
             }
-            total += p.count;
-            errors += p.errors;
+            total += iv.sketch.count();
+            errors += iv.errors;
         }
         (total, errors)
     }
@@ -128,7 +281,19 @@ impl LatencySeries {
     /// Consume into the closed points.
     pub fn into_points(mut self, now: SimTime) -> Vec<IntervalStats> {
         self.finish(now);
-        self.points
+        self.points()
+    }
+
+    /// Estimated footprint in bytes (sketch buckets dominate).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.cur.mem_bytes()
+            + self
+                .fine
+                .iter()
+                .chain(self.coarse.iter())
+                .map(IntervalSketch::mem_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -141,7 +306,9 @@ pub struct SeriesPoint {
     pub value: f64,
 }
 
-/// A named series of point-in-time samples.
+/// A named series of point-in-time samples with bounded retention: when
+/// `cap` is reached, the oldest half of the points is pairwise-averaged
+/// (each pair keeps its earlier timestamp), halving its resolution.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GaugeSeries {
     /// Metric name (Prometheus-style, e.g. `link_utilization`).
@@ -150,29 +317,75 @@ pub struct GaugeSeries {
     pub instance: String,
     /// The samples, in scrape order.
     pub points: Vec<SeriesPoint>,
+    /// Retention cap (compaction halves the oldest half on overflow).
+    pub cap: usize,
 }
 
 impl GaugeSeries {
-    /// New empty series.
+    /// New empty series with the default cap.
     pub fn new(name: impl Into<String>, instance: impl Into<String>) -> GaugeSeries {
+        GaugeSeries::with_cap(name, instance, RetentionPolicy::default().gauge_cap)
+    }
+
+    /// New empty series with an explicit retention cap (≥ 4).
+    pub fn with_cap(
+        name: impl Into<String>,
+        instance: impl Into<String>,
+        cap: usize,
+    ) -> GaugeSeries {
         GaugeSeries {
             name: name.into(),
             instance: instance.into(),
             points: Vec::new(),
+            cap: cap.max(4),
         }
     }
 
-    /// Append one sample.
+    /// Append one sample, compacting the oldest half if at capacity.
     pub fn push(&mut self, now: SimTime, value: f64) {
+        if self.points.len() >= self.cap && self.cap != usize::MAX {
+            self.compact_oldest_half();
+        }
         self.points.push(SeriesPoint {
             t_s: now.as_secs_f64(),
             value,
         });
     }
 
+    /// Pairwise-average the oldest half of the points: each adjacent
+    /// pair becomes one point at the earlier timestamp with the mean
+    /// value. Deterministic, keeps chronological order.
+    fn compact_oldest_half(&mut self) {
+        let half = self.points.len() / 2;
+        let mut compacted = Vec::with_capacity(self.points.len() - half / 2);
+        let mut i = 0;
+        while i < half {
+            if i + 1 < half {
+                compacted.push(SeriesPoint {
+                    t_s: self.points[i].t_s,
+                    value: (self.points[i].value + self.points[i + 1].value) / 2.0,
+                });
+                i += 2;
+            } else {
+                compacted.push(self.points[i].clone());
+                i += 1;
+            }
+        }
+        compacted.extend(self.points[half..].iter().cloned());
+        self.points = compacted;
+    }
+
     /// Latest sampled value, if any.
     pub fn last(&self) -> Option<f64> {
         self.points.last().map(|p| p.value)
+    }
+
+    /// Estimated footprint in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.name.len()
+            + self.instance.len()
+            + self.points.capacity() * std::mem::size_of::<SeriesPoint>()
     }
 }
 
@@ -194,7 +407,8 @@ mod tests {
         assert_eq!(pts[1].count, 0);
         assert_eq!(pts[2].count, 1);
         assert!(pts[0].t_s < pts[1].t_s && pts[1].t_s < pts[2].t_s);
-        assert!((pts[2].p99_ms - 9.0).abs() / 9.0 < 0.01);
+        assert!((pts[0].len_s - 0.1).abs() < 1e-9);
+        assert!((pts[2].p99_ms - 9.0).abs() / 9.0 < 0.02);
     }
 
     #[test]
@@ -204,7 +418,8 @@ mod tests {
             s.record(SimTime::from_millis(10), SimDuration::from_millis(i));
         }
         s.finish(SimTime::from_millis(100));
-        let p = &s.points()[0];
+        let pts = s.points();
+        let p = &pts[0];
         assert_eq!(p.count, 100);
         assert!((p.p50_ms - 50.0).abs() / 50.0 < 0.02, "p50 {}", p.p50_ms);
         assert!((p.p99_ms - 99.0).abs() / 99.0 < 0.02, "p99 {}", p.p99_ms);
@@ -217,8 +432,9 @@ mod tests {
         s.record_error(SimTime::from_millis(10));
         s.record_error(SimTime::from_millis(150));
         s.finish(SimTime::from_millis(200));
-        assert_eq!(s.points()[0].errors, 1);
-        assert_eq!(s.points()[1].errors, 1);
+        let pts = s.points();
+        assert_eq!(pts[0].errors, 1);
+        assert_eq!(pts[1].errors, 1);
     }
 
     #[test]
@@ -240,11 +456,109 @@ mod tests {
     }
 
     #[test]
+    fn rollup_caps_retained_intervals() {
+        let retention = RetentionPolicy {
+            fine_cap: 8,
+            rollup_factor: 4,
+            coarse_cap: 4,
+            ..RetentionPolicy::default()
+        };
+        let mut s = LatencySeries::with_retention(SimDuration::from_millis(100), retention);
+        // 400 closed intervals, one sample each.
+        for i in 0..400u64 {
+            s.record(
+                SimTime::from_millis(i * 100 + 10),
+                SimDuration::from_millis(5),
+            );
+        }
+        s.finish(SimTime::from_secs(40));
+        assert_eq!(s.closed_count(), 400);
+        let pts = s.points();
+        // Bounded: at most fine_cap + coarse_cap intervals ever retained.
+        assert!(pts.len() <= 8 + 4, "retained {} intervals", pts.len());
+        // Nothing lost: counts survive the roll-up.
+        assert_eq!(pts.iter().map(|p| p.count).sum::<u64>(), 400);
+        // Chronological, non-overlapping, spans grow toward the front.
+        for w in pts.windows(2) {
+            assert!(w[0].t_s + w[0].len_s <= w[1].t_s + 1e-9);
+        }
+        assert!(pts[0].len_s > pts.last().unwrap().len_s);
+        assert!(s.rolled_up() > 0);
+    }
+
+    #[test]
+    fn rollup_of_fine_equals_one_coarse_interval() {
+        // Recording the same stream into (a) fine intervals then rolling
+        // up and (b) one coarse interval directly yields byte-identical
+        // interval sketches.
+        let retention = RetentionPolicy {
+            fine_cap: 1,
+            rollup_factor: 4,
+            coarse_cap: 4,
+            ..RetentionPolicy::default()
+        };
+        let mut fine = LatencySeries::with_retention(SimDuration::from_millis(100), retention);
+        let mut coarse = LatencySeries::with_retention(
+            SimDuration::from_millis(400),
+            RetentionPolicy::unbounded(),
+        );
+        for i in 0..40u64 {
+            let now = SimTime::from_millis(i * 10);
+            let v = SimDuration::from_micros(i * 997 + 5);
+            fine.record(now, v);
+            coarse.record(now, v);
+        }
+        // Close everything: 4 fine intervals -> 1 rolled-up coarse one.
+        fine.advance_to(SimTime::from_millis(500));
+        coarse.advance_to(SimTime::from_millis(500));
+        let rolled = fine.intervals().next().expect("rolled-up interval");
+        let direct = coarse.intervals().next().expect("direct interval");
+        assert_eq!(rolled, direct);
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_long_runs() {
+        let mut s = LatencySeries::new(SimDuration::from_millis(100));
+        let mut peak_after_warm = 0usize;
+        for i in 0..20_000u64 {
+            s.record(
+                SimTime::from_millis(i * 100 + 1),
+                SimDuration::from_micros(500 + (i % 97) * 300),
+            );
+            if i == 1_000 {
+                peak_after_warm = s.mem_bytes();
+            }
+        }
+        // 20x more intervals than at the measuring point, same memory
+        // order: the roll-up keeps the footprint flat.
+        assert!(
+            s.mem_bytes() <= peak_after_warm * 2,
+            "memory grew from {} to {} bytes",
+            peak_after_warm,
+            s.mem_bytes()
+        );
+    }
+
+    #[test]
     fn gauge_series_appends() {
         let mut g = GaugeSeries::new("link_utilization", "a->b");
         g.push(SimTime::from_millis(100), 0.5);
         g.push(SimTime::from_millis(200), 0.7);
         assert_eq!(g.points.len(), 2);
         assert_eq!(g.last(), Some(0.7));
+    }
+
+    #[test]
+    fn gauge_series_caps_points() {
+        let mut g = GaugeSeries::with_cap("pod_compute_queue", "pod-0", 16);
+        for i in 0..1_000u64 {
+            g.push(SimTime::from_millis(i * 100), i as f64);
+        }
+        assert!(g.points.len() <= 16, "{} points retained", g.points.len());
+        // Still chronological and the newest sample is intact.
+        for w in g.points.windows(2) {
+            assert!(w[0].t_s < w[1].t_s);
+        }
+        assert_eq!(g.last(), Some(999.0));
     }
 }

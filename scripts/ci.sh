@@ -54,6 +54,41 @@ if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
     exit 1
   fi
 
+  echo "== incident timeline: A6 causal-chain smoke (deterministic) =="
+  # meshctl incident drives the same closed loop with a flight capture
+  # attached and joins burn alerts, the controller decision, the policy
+  # push, per-layer acks and the recovery anomaly into one ordered
+  # timeline. The full causal chain must reconstruct, and the report must
+  # be byte-identical across runs (it is a pure function of the
+  # deterministic run). The capture is ~1 GiB at this load; delete it
+  # between runs.
+  incident_a="$(MESHLAYER_OUT="$flight_out" \
+    cargo run --offline --release -q --bin meshctl -- incident 80 4)"
+  echo "$incident_a"
+  rm -f "$flight_out/incident.flight"
+  if ! grep -q "causal chain: burn-alert -> controller-decision -> policy-push -> acks([1-9][0-9]*) -> recovery \[complete\]" <<<"$incident_a"; then
+    echo "ci: incident timeline did not reconstruct the full causal chain" >&2
+    exit 1
+  fi
+  incident_b="$(MESHLAYER_OUT="$flight_out" \
+    cargo run --offline --release -q --bin meshctl -- incident 80 4)"
+  rm -f "$flight_out/incident.flight"
+  if [[ "$incident_a" != "$incident_b" ]]; then
+    echo "ci: incident timeline is not deterministic across identical runs" >&2
+    diff <(echo "$incident_a") <(echo "$incident_b") >&2 || true
+    exit 1
+  fi
+
+  echo "== telemetry plane: fleet-scale memory ceiling =="
+  # ~1000 classes + pods + gauges driven through the hub for thousands
+  # of scrapes: the retention pyramid must hold the footprint under a
+  # fixed ceiling however long the run (O(classes × sketch size), not
+  # O(run length)). 4000 scrapes ≈ 6.7 simulated minutes — past every
+  # retention tier's steady state — at a quarter of the default ceiling,
+  # so even a slow leak fails fast.
+  cargo run --offline --release -q -p meshlayer-bench --bin telemetry_mem -- \
+    --scrapes 4000 --ceiling-mib 32
+
   echo "== engine bench: smoke run + regression gate (1 and 4 threads) =="
   # A 2-second macro bench of the event engine at 1 and 4 engine
   # threads, gated against the checked-in baseline: hard-fails only if

@@ -5,6 +5,8 @@
 //! meshctl run [RPS] [SECS]         # run the case study, baseline vs optimized
 //! meshctl trace [RPS] [SECS]       # run + print the slowest distributed trace
 //! meshctl ablate [RPS] [SECS]      # toggle each optimization site (A1-style)
+//! meshctl top [RPS] [SECS]         # hierarchical latency roll-up (pod -> service -> zone -> mesh)
+//! meshctl incident [RPS] [SECS]    # closed-loop incident: ordered causal timeline
 //! meshctl policy dump [PRESET]     # render a policy snapshot (baseline|prototype|full)
 //! meshctl policy diff A B          # toggle-level diff between two presets
 //! meshctl validate-trace PATH      # check a --profile Chrome trace JSON file
@@ -13,13 +15,17 @@
 //! Argument parsing is deliberately dependency-free (positional args only).
 
 use meshlayer::apps::{elibrary, ElibraryParams};
-use meshlayer::core::{PolicySnapshot, RunMetrics, SimSpec, Simulation, XLayerConfig};
+use meshlayer::core::{
+    build_incident_report, AdaptationConfig, PolicySnapshot, RunMetrics, SimSpec, Simulation,
+    XLayerConfig,
+};
 use meshlayer::mesh::Sampling;
 use meshlayer::simcore::SimDuration;
+use meshlayer::telemetry::{SloTarget, TelemetryConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: meshctl <topology|run|trace|ablate> [RPS] [SECS]");
+    eprintln!("usage: meshctl <topology|run|trace|ablate|top|incident> [RPS] [SECS]");
     eprintln!("       meshctl policy <dump [PRESET] | diff PRESET PRESET>");
     eprintln!("       meshctl validate-trace PATH");
     eprintln!("       presets: baseline | prototype | full");
@@ -142,6 +148,88 @@ fn cmd_ablate(rps: f64, secs: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `meshctl top`: the fleet roll-up view. One run, then the merged
+/// pod → service → zone → mesh latency hierarchy — every row's
+/// quantiles are true quantiles over its members' samples (exact sketch
+/// merge), not averages of averages.
+fn cmd_top(rps: f64, secs: u64) -> ExitCode {
+    eprintln!("running e-library at {rps}+{rps} rps for {secs}s...");
+    let m = Simulation::build(spec_at(rps, secs, XLayerConfig::paper_prototype())).run();
+    if m.telemetry.rollup.is_empty() {
+        eprintln!("no roll-up rows (no requests completed?)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "# level   name                     parent           count   err |   p50ms   p99ms   maxms"
+    );
+    for r in &m.telemetry.rollup {
+        let indent = match r.level.as_str() {
+            "mesh" => "",
+            "zone" | "service" => "  ",
+            _ => "    ",
+        };
+        println!(
+            "{:<9} {:<24} {:<16} {:>6} {:>5} | {:>7.1} {:>7.1} {:>7.1}",
+            r.level,
+            format!("{indent}{}", r.name),
+            r.parent,
+            r.count,
+            r.errors,
+            r.p50_ms,
+            r.p99_ms,
+            r.max_ms
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `meshctl incident`: drive the closed adaptation loop (A6's setup) at
+/// a contended load with a flight capture attached, then join burn
+/// alerts, anomalies, the policy transition, per-layer acks and the
+/// recovery into one ordered causal timeline.
+fn cmd_incident(rps: f64, secs: u64) -> ExitCode {
+    let mut spec = spec_at(rps, secs, XLayerConfig::baseline());
+    spec.config.telemetry = TelemetryConfig::default().with_target(SloTarget::new(
+        "latency-sensitive",
+        SimDuration::from_millis(100),
+        0.05,
+    ));
+    spec.adaptation = Some(AdaptationConfig::new(
+        "latency-sensitive",
+        XLayerConfig::paper_prototype(),
+    ));
+    let mut sim = Simulation::build(spec);
+    let out_dir = std::path::PathBuf::from(
+        std::env::var("MESHLAYER_OUT").unwrap_or_else(|_| "results".into()),
+    );
+    let flight_path = out_dir.join("incident.flight");
+    if let Err(e) = sim.record_to("incident", &flight_path) {
+        eprintln!(
+            "cannot attach flight capture at {}: {e}",
+            flight_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "running adaptive e-library at {rps}+{rps} rps for {secs}s (capturing flight log)..."
+    );
+    let m = sim.run();
+    let log = match meshlayer::flightrec::FlightLog::load(&flight_path) {
+        Ok(log) => Some(log),
+        Err(e) => {
+            eprintln!("flight log unreadable: {e}");
+            None
+        }
+    };
+    let report = build_incident_report(&m.telemetry, sim.policy().transitions(), log.as_ref());
+    print!("{}", report.render());
+    if report.complete {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// A named preset rendered as the policy snapshot the control plane
 /// would push for it. Versions are illustrative: a dump is v1, a diff
 /// is v1 -> v2.
@@ -208,7 +296,13 @@ fn main() -> ExitCode {
         };
         return cmd_validate_trace(path);
     }
-    let rps: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(30.0);
+    // `incident` needs a contended load for the SLO to burn at all; the
+    // other commands default to the paper's moderate operating point.
+    let default_rps = if cmd == "incident" { 80.0 } else { 30.0 };
+    let rps: f64 = args
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default_rps);
     let secs: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(10);
     if rps <= 0.0 || secs == 0 {
         return usage();
@@ -218,6 +312,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(rps, secs),
         "trace" => cmd_trace(rps, secs),
         "ablate" => cmd_ablate(rps, secs),
+        "top" => cmd_top(rps, secs),
+        "incident" => cmd_incident(rps, secs),
         _ => usage(),
     }
 }
