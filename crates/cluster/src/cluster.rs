@@ -130,6 +130,13 @@ pub struct Pod {
     /// Probability that a request handled by this pod fails with a 500
     /// (fault injection for retry/outlier/breaker experiments).
     pub failure_rate: f64,
+    /// Whether the pod process is alive. A crashed pod (`up = false`)
+    /// refuses every request instantly (connection refused → 503) without
+    /// consuming compute; discovery still advertises it (stale-endpoints
+    /// semantics), so sidecars must detect the crash themselves via
+    /// outlier detection. Toggled by the chaos plane's crash/restart
+    /// faults.
+    pub up: bool,
     /// Human-readable name, e.g. `reviews-1`.
     pub name: String,
 }
@@ -216,6 +223,7 @@ impl Cluster {
                 compute: PodCompute::new(spec.compute.clone()),
                 speed_factor: 1.0,
                 failure_rate: 0.0,
+                up: true,
                 name: format!("{}-{}", spec.name, replica + 1),
             });
             self.next_ip += 1;

@@ -26,8 +26,9 @@ use std::fmt::Write as _;
 pub struct IncidentEvent {
     /// Simulated time, seconds.
     pub t_s: f64,
-    /// Causal stage: `burn-alert`, `anomaly`, `controller-decision`,
-    /// `policy-push`, `policy-ack`, `sidecar-activity`, or `recovery`.
+    /// Causal stage: `fault-inject`, `burn-alert`, `anomaly`,
+    /// `controller-decision`, `policy-push`, `policy-ack`,
+    /// `sidecar-activity`, `fault-clear`, or `recovery`.
     pub stage: String,
     /// What the entry concerns (class, version, pod, ...).
     pub subject: String,
@@ -49,17 +50,21 @@ pub struct IncidentReport {
     pub complete: bool,
 }
 
-/// Sort rank enforcing causal order among same-instant entries.
+/// Sort rank enforcing causal order among same-instant entries. An
+/// injected fault is the root cause, so it sorts ahead of the anomaly it
+/// produced; its clear precedes the recovery it enables.
 fn stage_rank(stage: &str) -> u8 {
     match stage {
-        "anomaly" => 0,
-        "burn-alert" => 1,
-        "controller-decision" => 2,
-        "policy-push" => 3,
-        "policy-ack" => 4,
-        "sidecar-activity" => 5,
-        "recovery" => 6,
-        _ => 7,
+        "fault-inject" => 0,
+        "anomaly" => 1,
+        "burn-alert" => 2,
+        "controller-decision" => 3,
+        "policy-push" => 4,
+        "policy-ack" => 5,
+        "sidecar-activity" => 6,
+        "fault-clear" => 7,
+        "recovery" => 8,
+        _ => 9,
     }
 }
 
@@ -122,7 +127,24 @@ pub fn build_incident_report(
     }
 
     let mut acks = 0usize;
+    let mut faults = 0usize;
     if let Some(log) = log {
+        // Chaos-plane fault frames are the root causes of everything
+        // downstream: join them ahead of the anomalies they produced.
+        for f in &log.faults {
+            let stage = if f.phase == 0 {
+                faults += 1;
+                "fault-inject"
+            } else {
+                "fault-clear"
+            };
+            events.push(IncidentEvent {
+                t_s: f.t_ns as f64 / 1e9,
+                stage: stage.into(),
+                subject: f.subject.clone(),
+                detail: format!("fault[{}] {}", f.fault, f.detail),
+            });
+        }
         for d in &log.decisions {
             if d.kind == DecisionKind::PolicyApply.code() {
                 acks += 1;
@@ -220,6 +242,9 @@ pub fn build_incident_report(
     };
 
     let mut chain = Vec::new();
+    if faults > 0 {
+        chain.push(format!("fault-inject({faults})"));
+    }
     if alert_t.is_some() {
         chain.push("burn-alert".to_string());
     }
@@ -372,6 +397,59 @@ mod tests {
         let report = build_incident_report(&summary, &[transition(6, 7)], None);
         assert!(!report.complete);
         assert!(report.events.iter().all(|e| e.stage != "recovery"));
+    }
+
+    #[test]
+    fn injected_faults_join_the_chain_as_root_cause() {
+        use meshlayer_flightrec::{FaultRecord, FlightLog};
+        let summary = summary_with(1.5, 1.4, 3.0);
+        let log = FlightLog {
+            faults: vec![
+                FaultRecord {
+                    t_ns: 1_000_000_000,
+                    fault: 0,
+                    phase: 0,
+                    kind: 3,
+                    subject: "ratings/0".into(),
+                    detail: "pod ratings-0 gray".into(),
+                },
+                FaultRecord {
+                    t_ns: 2_500_000_000,
+                    fault: 0,
+                    phase: 1,
+                    kind: 3,
+                    subject: "ratings/0".into(),
+                    detail: "pod ratings-0 gray cleared".into(),
+                },
+            ],
+            ..FlightLog::default()
+        };
+        let report = build_incident_report(&summary, &[transition(2, 2)], Some(&log));
+        assert!(report.complete, "chain: {:?}", report.chain);
+        assert_eq!(
+            report.chain.first().map(String::as_str),
+            Some("fault-inject(1)")
+        );
+        // The injection sorts ahead of everything downstream of it; the
+        // clear lands before the recovery it enables.
+        let stages: Vec<&str> = report.events.iter().map(|e| e.stage.as_str()).collect();
+        assert_eq!(
+            stages,
+            vec![
+                "fault-inject",
+                "anomaly",
+                "burn-alert",
+                "controller-decision",
+                "policy-push",
+                "fault-clear",
+                "recovery"
+            ]
+        );
+        let rendered = report.render();
+        assert!(
+            rendered.contains("causal chain: fault-inject(1) -> burn-alert -> controller-decision -> policy-push -> acks(0) -> recovery [complete]"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod sim;
 pub mod xlayer;
 
 pub use incident::{build_incident_report, IncidentEvent, IncidentReport};
+pub use meshlayer_chaos::{FaultCode, FaultEvent, FaultKind, FaultScript};
 pub use metrics::{EvProfile, LinkReport, PodReport, RunMetrics, TransportReport};
 pub use netplan::{Fabric, NetworkPlan};
 pub use policy::{

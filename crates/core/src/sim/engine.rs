@@ -46,6 +46,7 @@ impl Simulation {
                 self.push_ev(t, Ev::TelemetryTick);
             }
         }
+        self.seed_faults();
     }
 
     pub(crate) fn run_sequential(&mut self) -> crate::metrics::RunMetrics {
@@ -124,6 +125,7 @@ impl Simulation {
                 layer,
                 pod,
             } => self.on_policy_apply(version, layer, pod, now),
+            Ev::Fault { fault, phase } => self.on_fault(fault, phase, now),
         }
     }
 

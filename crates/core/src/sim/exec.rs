@@ -95,6 +95,17 @@ impl Simulation {
         let Some(e) = self.execs.get(&exec_id) else {
             return;
         };
+        // Chaos plane: a crashed pod refuses the request outright —
+        // connection refused surfaces as an instant 503 that consumes no
+        // compute. Discovery still advertises the pod, so the caller's
+        // outlier detector has to notice the 5xx stream and eject it.
+        if !self.cluster.pod(e.pod).up {
+            if let Some(e) = self.execs.get_mut(&exec_id) {
+                e.failed = Some(StatusCode::UNAVAILABLE);
+            }
+            self.finish_exec(exec_id, now);
+            return;
+        }
         // Fault injection: a failing pod 500s before running its handler.
         let failure_rate = self.cluster.pod(e.pod).failure_rate;
         if failure_rate > 0.0 {

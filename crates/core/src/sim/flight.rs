@@ -55,6 +55,7 @@ impl Ev {
             Ev::TelemetryTick => 15,
             Ev::PolicyPush { .. } => 16,
             Ev::PolicyApply { .. } => 17,
+            Ev::Fault { .. } => 18,
         }
     }
 }
@@ -126,6 +127,10 @@ fn fold_event(state: u64, seq: u64, t: SimTime, ev: &Ev) -> u64 {
             d = fold_u64(d, *version);
             d = fold_bytes(d, &[*layer]);
             fold_u64(d, *pod as u64)
+        }
+        Ev::Fault { fault, phase } => {
+            d = fold_u64(d, *fault as u64);
+            fold_bytes(d, &[*phase])
         }
     }
 }

@@ -17,6 +17,7 @@
 //! 4. responses propagate back and the recorder measures end-to-end
 //!    latency from the intended send time.
 
+mod chaos_rt;
 mod engine;
 mod exec;
 mod flight;
@@ -132,6 +133,10 @@ pub struct SimSpec {
     /// SLO class's burn alert (and the SDN congestion view) each telemetry
     /// scrape and pushes the configured policy when it fires.
     pub adaptation: Option<AdaptationConfig>,
+    /// Deterministic fault-injection schedule (the chaos plane). Each
+    /// scheduled fault becomes an ordinary engine event, so a chaos run
+    /// records and replays bit-identically like any other.
+    pub chaos: Option<meshlayer_chaos::FaultScript>,
 }
 
 impl SimSpec {
@@ -147,6 +152,7 @@ impl SimSpec {
             config: SimConfig::default(),
             mesh: MeshConfig::default(),
             adaptation: None,
+            chaos: None,
         }
     }
 }
@@ -210,11 +216,14 @@ pub(crate) enum Ev {
     /// [`crate::PolicyLayer`] code; `pod` is the applying sidecar for the
     /// mesh layer, `u32::MAX` for fleet-wide layers.
     PolicyApply { version: u64, layer: u8, pod: u32 },
+    /// The chaos plane injects (`phase` 0) or clears (`phase` 1) fault
+    /// number `fault` of the spec's [`meshlayer_chaos::FaultScript`].
+    Fault { fault: u32, phase: u8 },
 }
 
 impl Ev {
     /// Number of variants ([`Ev::code`] is `0..COUNT`).
-    pub(crate) const COUNT: usize = 18;
+    pub(crate) const COUNT: usize = 19;
 
     /// Variant names, indexed by [`Ev::code`] — for the per-event
     /// profiling counters.
@@ -237,6 +246,7 @@ impl Ev {
         "TelemetryTick",
         "PolicyPush",
         "PolicyApply",
+        "Fault",
     ];
 
     /// Variant name, for the per-event profiling counters.
@@ -471,6 +481,9 @@ pub struct Simulation {
     pub(crate) ev_profile: [(u64, u64); Ev::COUNT],
     /// Sim-time latency provenance (always on; see [`mod@self::prov`]).
     pub(crate) prov: prov::ProvTrack,
+    /// Chaos-plane runtime state (what each active fault saved for its
+    /// clear phase).
+    pub(crate) chaos: chaos_rt::ChaosRt,
     /// Whether the next `run()` should record wall-clock phase timings.
     profile_requested: bool,
     /// The phase profile of the last profiled run, until taken.
@@ -640,6 +653,7 @@ impl Simulation {
             scrape: ScrapeState::default(),
             ev_profile: [(0, 0); Ev::COUNT],
             prov: prov::ProvTrack::default(),
+            chaos: chaos_rt::ChaosRt::default(),
             profile_requested: false,
             profile: None,
             rng: rng.split("world"),

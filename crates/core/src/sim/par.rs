@@ -304,7 +304,8 @@ impl Simulation {
             | Ev::ControlTick
             | Ev::TelemetryTick
             | Ev::PolicyPush { .. }
-            | Ev::PolicyApply { .. } => plan.control_lp,
+            | Ev::PolicyApply { .. }
+            | Ev::Fault { .. } => plan.control_lp,
         };
         rt.push_lp(at, ev, lp);
     }

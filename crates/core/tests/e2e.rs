@@ -264,3 +264,115 @@ fn mid_run_policy_flip_records_and_replays_with_zero_divergence() {
     }
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn every_fault_kind_lands_a_tagged_frame_and_replays() {
+    use meshlayer_core::{FaultCode, FaultKind, FaultScript};
+    let dir = std::env::temp_dir().join("meshlayer-e2e-chaos");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("chaos-{}.mlflight", std::process::id()));
+
+    let t = meshlayer_simcore::SimTime::from_millis;
+    let d = SimDuration::from_millis;
+    let build = || {
+        let mut spec = tiny_spec(40.0, 5);
+        spec.chaos = Some(
+            FaultScript::new()
+                .with(
+                    t(1200),
+                    FaultKind::PodCrash {
+                        service: "backend".into(),
+                        replica: 1,
+                        restart_after: Some(d(800)),
+                    },
+                )
+                .with(
+                    t(1600),
+                    FaultKind::GrayFailure {
+                        service: "backend".into(),
+                        replica: 0,
+                        speed_factor: 2.0,
+                        failure_rate: 0.2,
+                        clear_after: Some(d(700)),
+                    },
+                )
+                .with(
+                    t(2400),
+                    FaultKind::LinkFlap {
+                        service: "frontend".into(),
+                        replica: 0,
+                        up_after: d(300),
+                    },
+                )
+                .with(t(3000), FaultKind::Rollback { to_version: 1 })
+                .with(
+                    t(3400),
+                    FaultKind::Partition {
+                        service: "backend".into(),
+                        heal_after: d(400),
+                    },
+                ),
+        );
+        Simulation::build(spec)
+    };
+
+    let mut rec = build();
+    rec.record_to("chaos", &path).unwrap();
+    let m = rec.run();
+    // The world survives all five faults (retries/ejection absorb them).
+    assert!(m.world.roots_ok > 0, "{:?}", m.world);
+
+    // Every scheduled fault appears as a phase-0 frame with its kind
+    // code and subject, and every self-clearing fault as a phase-1
+    // frame; injections carry the script's times.
+    let log = meshlayer_flightrec::FlightLog::load(&path).unwrap();
+    let expect = [
+        (FaultCode::PodCrash, "backend/1", 1200u64),
+        (FaultCode::GrayFailure, "backend/0", 1600),
+        (FaultCode::LinkFlap, "frontend/0", 2400),
+        (FaultCode::Rollback, "v1", 3000),
+        (FaultCode::Partition, "backend", 3400),
+    ];
+    for (i, (code, subject, at_ms)) in expect.iter().enumerate() {
+        let f = log
+            .faults
+            .iter()
+            .find(|f| f.fault == i as u32 && f.phase == 0)
+            .unwrap_or_else(|| panic!("no inject frame for fault {i}"));
+        assert_eq!(f.kind, *code as u8, "kind of fault {i}");
+        assert_eq!(f.subject, *subject, "subject of fault {i}");
+        assert_eq!(f.t_ns, at_ms * 1_000_000, "time of fault {i}");
+        assert!(!f.detail.is_empty());
+    }
+    // All but the rollback clear themselves later in the run.
+    for i in [0u32, 1, 2, 4] {
+        assert!(
+            log.faults.iter().any(|f| f.fault == i && f.phase == 1),
+            "no clear frame for fault {i}"
+        );
+    }
+
+    // The same script replays bit-identically...
+    let mut rep = build();
+    rep.replay_from(&path).unwrap();
+    rep.run();
+    match rep.take_flight_outcome() {
+        Some(meshlayer_core::FlightOutcome::Replayed(r)) => {
+            assert!(r.ok(), "diverged: {:?}", r.divergence)
+        }
+        other => panic!("expected Replayed, got {other:?}"),
+    }
+
+    // ...and a fault-free run diverges: injected chaos is part of the
+    // recorded truth, not an out-of-band mutation.
+    let mut bad = Simulation::build(tiny_spec(40.0, 5));
+    bad.replay_from(&path).unwrap();
+    bad.run();
+    match bad.take_flight_outcome() {
+        Some(meshlayer_core::FlightOutcome::Replayed(r)) => {
+            assert!(!r.ok(), "missing faults must diverge")
+        }
+        other => panic!("expected Replayed, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}

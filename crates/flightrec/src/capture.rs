@@ -9,8 +9,8 @@
 
 use crate::log::LogWriter;
 use crate::record::{
-    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, MetaInfo, MsgBindRecord,
-    PacketRecord, Record, NO_POD,
+    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, FaultRecord, MetaInfo,
+    MsgBindRecord, PacketRecord, Record, NO_POD,
 };
 use meshlayer_http::StatusCode;
 use meshlayer_mesh::{Decision, DecisionSink};
@@ -57,6 +57,8 @@ pub struct CaptureCounts {
     pub binds: u64,
     /// Anomaly records written.
     pub anomalies: u64,
+    /// Fault records written.
+    pub faults: u64,
 }
 
 struct Inner {
@@ -231,6 +233,29 @@ impl FlightRecorder {
             detail: detail.to_string(),
         }));
         g.counts.anomalies += 1;
+    }
+
+    /// Record one chaos-plane fault injection (`phase` 0) or clear
+    /// (`phase` 1).
+    pub fn record_fault(
+        &self,
+        now: SimTime,
+        fault: u32,
+        phase: u8,
+        kind: u8,
+        subject: &str,
+        detail: &str,
+    ) {
+        let mut g = self.inner.lock();
+        g.write(&Record::Fault(FaultRecord {
+            t_ns: now.as_nanos(),
+            fault,
+            phase,
+            kind,
+            subject: subject.to_string(),
+            detail: detail.to_string(),
+        }));
+        g.counts.faults += 1;
     }
 
     /// Write the final totals frame.

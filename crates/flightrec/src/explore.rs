@@ -10,8 +10,8 @@
 
 use crate::log::{FrameError, LogReader};
 use crate::record::{
-    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, MetaInfo, MsgBindRecord,
-    PacketRecord, Record, NO_POD,
+    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, FaultRecord, MetaInfo,
+    MsgBindRecord, PacketRecord, Record, NO_POD,
 };
 use meshlayer_netsim::TapOp;
 use std::collections::BTreeSet;
@@ -33,6 +33,8 @@ pub struct FlightLog {
     pub binds: Vec<MsgBindRecord>,
     /// Telemetry anomalies in detection order.
     pub anomalies: Vec<AnomalyRecord>,
+    /// Chaos-plane fault injections/clears in injection order.
+    pub faults: Vec<FaultRecord>,
     /// Final totals frame, if the capture completed.
     pub end: Option<EndRecord>,
 }
@@ -50,6 +52,7 @@ impl FlightLog {
                 Record::Decision(d) => log.decisions.push(d),
                 Record::MsgBind(b) => log.binds.push(b),
                 Record::Anomaly(a) => log.anomalies.push(a),
+                Record::Fault(f) => log.faults.push(f),
                 Record::End(e) => log.end = Some(e),
             }
         }
@@ -99,12 +102,13 @@ impl FlightLog {
         }
         let _ = writeln!(
             out,
-            "records: {} events, {} packets, {} decisions, {} msg-binds, {} anomalies",
+            "records: {} events, {} packets, {} decisions, {} msg-binds, {} anomalies, {} faults",
             self.events.len(),
             self.packets.len(),
             self.decisions.len(),
             self.binds.len(),
-            self.anomalies.len()
+            self.anomalies.len(),
+            self.faults.len()
         );
         match &self.end {
             Some(e) => {

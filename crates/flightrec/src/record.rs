@@ -1,7 +1,7 @@
 //! The capture record types and their binary wire encoding.
 //!
 //! A flight-recorder log is a stream of self-framing records (see
-//! [`crate::log`] for the framing). Seven record kinds exist:
+//! [`crate::log`] for the framing). Eight record kinds exist:
 //!
 //! | tag | record     | cadence                                      |
 //! |-----|------------|----------------------------------------------|
@@ -12,6 +12,7 @@
 //! | 5   | `MsgBind`  | message-id ↔ RPC/request-id correlation      |
 //! | 6   | `End`      | once, last frame — totals + final digest     |
 //! | 7   | `Anomaly`  | every telemetry anomaly the detector flags   |
+//! | 8   | `Fault`    | every chaos-plane fault injection and clear  |
 //!
 //! All multi-byte integers are little-endian. Strings are a `u16`
 //! length followed by UTF-8 bytes. The `Meta` payload is JSON so the
@@ -40,6 +41,8 @@ pub const TAG_MSG_BIND: u8 = 5;
 pub const TAG_END: u8 = 6;
 /// Frame tag for [`Record::Anomaly`].
 pub const TAG_ANOMALY: u8 = 7;
+/// Frame tag for [`Record::Fault`].
+pub const TAG_FAULT: u8 = 8;
 
 /// Sentinel for "no pod chosen" in [`DecisionRecord::chosen`].
 pub const NO_POD: u32 = u32::MAX;
@@ -232,6 +235,29 @@ pub struct AnomalyRecord {
     pub detail: String,
 }
 
+/// One chaos-plane fault injection or clear.
+///
+/// Written whenever the fault-injection plane mutates the world, so a
+/// capture is self-describing: the incident-timeline engine joins these
+/// frames into its causal chain, and replay divergence can be localized
+/// to "before or after fault N".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Simulated time of the injection/clear, nanoseconds.
+    pub t_ns: u64,
+    /// 0-based index of the fault in the run's `FaultScript`.
+    pub fault: u32,
+    /// Phase: 0 = inject, 1 = clear (restart/heal/re-up).
+    pub phase: u8,
+    /// Fault-kind discriminant (chaos-defined: 0 pod-crash, 1 link-flap,
+    /// 2 partition, 3 gray-failure, 4 rollback).
+    pub kind: u8,
+    /// What the fault targets (`service/replica`, `service`, or `v<n>`).
+    pub subject: String,
+    /// Human-readable description of what was mutated.
+    pub detail: String,
+}
+
 /// Final frame: totals and the final chained digest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EndRecord {
@@ -258,6 +284,8 @@ pub enum Record {
     End(EndRecord),
     /// Telemetry anomaly.
     Anomaly(AnomalyRecord),
+    /// Chaos-plane fault injection/clear.
+    Fault(FaultRecord),
 }
 
 /// Why a record payload failed to decode.
@@ -355,6 +383,7 @@ impl Record {
             Record::MsgBind(_) => TAG_MSG_BIND,
             Record::End(_) => TAG_END,
             Record::Anomaly(_) => TAG_ANOMALY,
+            Record::Fault(_) => TAG_FAULT,
         }
     }
 
@@ -423,6 +452,14 @@ impl Record {
                 put_str(&mut out, &a.subject);
                 put_str(&mut out, &a.detail);
             }
+            Record::Fault(fr) => {
+                out.extend_from_slice(&fr.t_ns.to_le_bytes());
+                out.extend_from_slice(&fr.fault.to_le_bytes());
+                out.push(fr.phase);
+                out.push(fr.kind);
+                put_str(&mut out, &fr.subject);
+                put_str(&mut out, &fr.detail);
+            }
         }
         out
     }
@@ -485,6 +522,14 @@ impl Record {
                 direction: c.u8()? as i8,
                 value_bits: c.u64()?,
                 baseline_bits: c.u64()?,
+                subject: c.str()?,
+                detail: c.str()?,
+            }),
+            TAG_FAULT => Record::Fault(FaultRecord {
+                t_ns: c.u64()?,
+                fault: c.u32()?,
+                phase: c.u8()?,
+                kind: c.u8()?,
                 subject: c.str()?,
                 detail: c.str()?,
             }),
@@ -566,6 +611,14 @@ mod tests {
             value_bits: 23.4_f64.to_bits(),
             baseline_bits: 106.0_f64.to_bits(),
             detail: "p99 23.4ms vs baseline 106.0ms".into(),
+        }));
+        roundtrip(Record::Fault(FaultRecord {
+            t_ns: 2_000_000_000,
+            fault: 3,
+            phase: 0,
+            kind: 0,
+            subject: "reviews/1".into(),
+            detail: "pod reviews-2 crashed (restart in 2.000s)".into(),
         }));
     }
 

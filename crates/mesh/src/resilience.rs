@@ -59,6 +59,12 @@ pub struct RetryPolicy {
     /// Retry budget: retries may be at most this fraction of recent
     /// requests (Envoy's retry_budget). 0 disables the budget check.
     pub budget_ratio: f64,
+    /// Apply full jitter to the backoff: the sidecar draws the actual
+    /// wait uniformly from `[0, backoff]` using its deterministic per-pod
+    /// RNG stream, so correlated failures do not retry in lockstep (the
+    /// retry-storm synchronization A7 measures). Off reproduces the bare
+    /// exponential schedule.
+    pub full_jitter: bool,
 }
 
 impl Default for RetryPolicy {
@@ -71,6 +77,7 @@ impl Default for RetryPolicy {
             on_timeout: true,
             retry_non_idempotent: false,
             budget_ratio: 0.2,
+            full_jitter: true,
         }
     }
 }
@@ -100,11 +107,13 @@ impl RetryPolicy {
         }
     }
 
-    /// Backoff before retry number `retry_no` (1-based), with full jitter
-    /// applied by the caller if desired: `base × 2^(retry_no-1)`, clamped
+    /// The *ceiling* of the backoff before retry number `retry_no`
+    /// (1-based): `base × 2^(retry_no-1)`, clamped
     /// to [`RetryPolicy::max_backoff`]. Any `retry_no` (including
     /// `u32::MAX`) is well-defined — once the doubling passes the cap the
-    /// result is exactly `max_backoff`.
+    /// result is exactly `max_backoff`. When
+    /// [`RetryPolicy::full_jitter`] is set the sidecar draws the actual
+    /// wait uniformly from `[0, backoff(retry_no)]`.
     pub fn backoff(&self, retry_no: u32) -> SimDuration {
         let exp = retry_no.saturating_sub(1);
         // Beyond 2^63 the multiply would overflow u64; the saturating
@@ -313,6 +322,22 @@ impl CircuitBreaker {
         }
     }
 
+    /// An admitted attempt was abandoned before its outcome was known —
+    /// e.g. a losing hedge cancelled because a sibling attempt won, or an
+    /// RPC settled while this attempt was still in flight. A cancel
+    /// carries **no health signal**: it must not reset
+    /// `consecutive_failures` and must not close a half-open breaker
+    /// (both of which `on_success` does). It only releases the pending
+    /// slot — and, when the cancelled attempt was the half-open probe
+    /// (no other admitted attempt remains), re-arms the probe so the
+    /// next request can try again.
+    pub fn on_cancel(&mut self, _now: SimTime) {
+        self.pending = self.pending.saturating_sub(1);
+        if self.state == BreakerState::HalfOpen && self.pending == 0 {
+            self.probe_inflight = false;
+        }
+    }
+
     /// Requests rejected so far.
     pub fn rejected(&self) -> u64 {
         self.rejected
@@ -321,6 +346,16 @@ impl CircuitBreaker {
     /// Outstanding admitted requests.
     pub fn pending(&self) -> usize {
         self.pending
+    }
+
+    /// Whether the half-open probe slot is currently taken.
+    pub fn probe_inflight(&self) -> bool {
+        self.probe_inflight
+    }
+
+    /// Consecutive failures observed since the last success (closed state).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
     }
 }
 
@@ -587,6 +622,84 @@ mod tests {
         cb.on_success(T0);
         assert!(cb.try_admit(T0));
         assert_eq!(cb.pending(), 2);
+    }
+
+    /// Regression pin (ISSUE 8): a cancelled attempt is health-neutral.
+    /// `on_attempt_cancelled` used to route through `on_success`, so a
+    /// losing hedge zeroed `consecutive_failures` — one hedged request
+    /// per threshold window was enough to keep a failing upstream's
+    /// breaker closed forever.
+    #[test]
+    fn cancel_does_not_reset_consecutive_failures() {
+        let mut cb = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            open_duration: SimDuration::from_secs(1),
+            max_pending: 0,
+        });
+        for _ in 0..2 {
+            assert!(cb.try_admit(T0));
+            cb.on_failure(T0);
+        }
+        // A hedge pair: one attempt cancelled (sibling won), one failed.
+        assert!(cb.try_admit(T0));
+        cb.on_cancel(T0);
+        assert_eq!(cb.consecutive_failures(), 2, "cancel is health-neutral");
+        assert!(cb.try_admit(T0));
+        cb.on_failure(T0);
+        assert_eq!(cb.state(T0), BreakerState::Open, "third failure opens");
+    }
+
+    /// Regression pin (ISSUE 8): cancelling the half-open probe must not
+    /// close the breaker (`on_success` did), only re-arm the probe slot.
+    #[test]
+    fn cancel_of_half_open_probe_rearms_probe_without_closing() {
+        let mut cb = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_duration: SimDuration::from_secs(1),
+            max_pending: 0,
+        });
+        assert!(cb.try_admit(T0));
+        cb.on_failure(T0);
+        let t1 = T0 + SimDuration::from_secs(2);
+        assert_eq!(cb.state(t1), BreakerState::HalfOpen);
+        assert!(cb.try_admit(t1), "probe admitted");
+        cb.on_cancel(t1);
+        assert_eq!(
+            cb.state(t1),
+            BreakerState::HalfOpen,
+            "cancel must not close a half-open breaker"
+        );
+        assert!(!cb.probe_inflight(), "probe slot released");
+        // The next request becomes the new probe; its outcome decides.
+        assert!(cb.try_admit(t1));
+        cb.on_failure(t1);
+        assert_eq!(cb.state(t1), BreakerState::Open);
+    }
+
+    #[test]
+    fn cancel_with_nonprobe_attempts_still_pending_keeps_probe() {
+        let mut cb = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_duration: SimDuration::from_secs(1),
+            max_pending: 0,
+        });
+        // Two admitted attempts in closed state, then the upstream fails.
+        assert!(cb.try_admit(T0));
+        assert!(cb.try_admit(T0));
+        cb.on_failure(T0);
+        let t1 = T0 + SimDuration::from_secs(2);
+        assert_eq!(cb.state(t1), BreakerState::HalfOpen);
+        assert!(cb.try_admit(t1), "probe admitted");
+        assert_eq!(cb.pending(), 2);
+        // Cancelling the leftover pre-open attempt (not the probe) must
+        // not release the probe slot.
+        cb.on_cancel(t1);
+        assert!(cb.probe_inflight(), "probe still in flight");
+        assert!(!cb.try_admit(t1), "only one probe at a time");
+        // Pending never underflows however many cancels arrive.
+        cb.on_cancel(t1);
+        cb.on_cancel(t1);
+        assert_eq!(cb.pending(), 0);
     }
 
     #[test]

@@ -593,13 +593,16 @@ impl Sidecar {
 
     /// An admitted attempt was cancelled (e.g. the losing side of a hedge
     /// after the winner responded): release its outstanding slot and the
-    /// breaker's pending count without any health penalty.
+    /// breaker's pending count without any health signal either way.
+    /// A cancel must not go through `on_success` — that would zero the
+    /// breaker's consecutive-failure count and close a half-open breaker,
+    /// letting a failing upstream hide behind its own hedges.
     pub fn on_attempt_cancelled(&mut self, cluster: &str, pod: PodId, now: SimTime) {
         if let Some(up) = self.upstreams.get_mut(cluster) {
             if let Some(n) = up.outstanding.get_mut(&pod) {
                 *n = n.saturating_sub(1);
             }
-            up.breaker.on_success(now);
+            up.breaker.on_cancel(now);
         }
     }
 
@@ -645,7 +648,17 @@ impl Sidecar {
             return None;
         }
         self.stats.retries += 1;
-        let backoff = policy.backoff(attempt + 1);
+        // Full jitter (AWS-style): draw the actual wait uniformly from
+        // [0, ceiling]. The draw comes from this sidecar's own RNG — the
+        // deterministic pod-LP stream — so replays and multi-threaded
+        // runs see the identical schedule, while concurrent failures
+        // across requests decorrelate instead of retrying in lockstep.
+        let ceiling = policy.backoff(attempt + 1);
+        let backoff = if policy.full_jitter && ceiling > SimDuration::ZERO {
+            SimDuration::from_nanos(self.rng.u64() % ceiling.as_nanos().saturating_add(1))
+        } else {
+            ceiling
+        };
         if let Some(s) = &sink {
             s.on_decision(
                 &self.name,
@@ -956,6 +969,112 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
+    }
+
+    /// Regression pin (ISSUE 8): a cancelled hedge attempt between
+    /// failures must not heal the breaker. Before the fix,
+    /// `on_attempt_cancelled` called `breaker.on_success`, so one losing
+    /// hedge per threshold window zeroed `consecutive_failures` and the
+    /// breaker never opened against a persistently failing upstream.
+    #[test]
+    fn cancelled_hedge_does_not_heal_breaker() {
+        let mut sc = mk_sidecar(simple_routes());
+        let req = Request::get("reviews", "/");
+        // 4 failures (threshold is 5), with a cancelled hedge attempt
+        // interleaved after each one — exactly the hedging pattern where
+        // the winner fails and the loser is cancelled.
+        for _ in 0..4 {
+            let RouteOutcome::Forward { pod, cluster } = sc.route_outbound(&req, &two_pods, T0)
+            else {
+                panic!("expected forward");
+            };
+            sc.on_upstream_response(
+                &cluster,
+                pod,
+                Ok(StatusCode::INTERNAL),
+                SimDuration::from_millis(1),
+                2,
+                T0,
+            );
+            let RouteOutcome::Forward { pod, cluster } = sc.route_outbound(&req, &two_pods, T0)
+            else {
+                panic!("expected forward");
+            };
+            sc.on_attempt_cancelled(&cluster, pod, T0);
+        }
+        // The 5th consecutive failure must open the breaker: the cancels
+        // carried no health signal.
+        let RouteOutcome::Forward { pod, cluster } = sc.route_outbound(&req, &two_pods, T0) else {
+            panic!("expected forward");
+        };
+        sc.on_upstream_response(
+            &cluster,
+            pod,
+            Ok(StatusCode::INTERNAL),
+            SimDuration::from_millis(1),
+            2,
+            T0,
+        );
+        assert_eq!(
+            sc.route_outbound(&req, &two_pods, T0),
+            RouteOutcome::FailFast(StatusCode::TOO_MANY_REQUESTS),
+            "breaker must open despite interleaved hedge cancels"
+        );
+        // The cancelled attempts released their outstanding slots.
+        assert_eq!(sc.outstanding_to("reviews", PodId(0)), 0);
+        assert_eq!(sc.outstanding_to("reviews", PodId(1)), 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_jittered_within_ceiling() {
+        let mut sc = mk_sidecar(simple_routes());
+        let req = Request::get("reviews", "/");
+        let RouteOutcome::Forward { cluster, pod } = sc.route_outbound(&req, &two_pods, T0) else {
+            panic!()
+        };
+        sc.on_upstream_response(
+            &cluster,
+            pod,
+            Ok(StatusCode::INTERNAL),
+            SimDuration::from_millis(1),
+            2,
+            T0,
+        );
+        let ceiling = sc.config().policy(&cluster).retry.backoff(1);
+        let b = sc
+            .should_retry(
+                &cluster,
+                &req,
+                0,
+                AttemptFailure::Status(StatusCode::INTERNAL),
+                T0,
+            )
+            .expect("retry granted");
+        assert!(b <= ceiling, "jittered backoff {b} above ceiling {ceiling}");
+        // Same seed, same decision sequence => same jitter (determinism).
+        let mut sc2 = mk_sidecar(simple_routes());
+        let RouteOutcome::Forward { cluster: c2, pod } = sc2.route_outbound(&req, &two_pods, T0)
+        else {
+            panic!()
+        };
+        sc2.on_upstream_response(
+            &c2,
+            pod,
+            Ok(StatusCode::INTERNAL),
+            SimDuration::from_millis(1),
+            2,
+            T0,
+        );
+        let b2 = sc2
+            .should_retry(
+                &c2,
+                &req,
+                0,
+                AttemptFailure::Status(StatusCode::INTERNAL),
+                T0,
+            )
+            .expect("retry granted");
+        assert_eq!(b, b2, "jitter is a pure function of the RNG stream");
     }
 
     #[test]

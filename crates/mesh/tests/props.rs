@@ -1,0 +1,261 @@
+//! Property-based tests for the resilience primitives: the circuit
+//! breaker driven as a state machine through arbitrary admit / success /
+//! failure / cancel sequences, and the outlier detector's ejection and
+//! unejection timing under scripted response streams.
+//!
+//! These pin the invariants the A7 chaos experiments depend on — in
+//! particular that a *cancelled* attempt (a losing hedge) is
+//! health-neutral: it releases its pending slot but never heals the
+//! breaker.
+
+use meshlayer_cluster::PodId;
+use meshlayer_http::StatusCode;
+use meshlayer_mesh::{BreakerConfig, BreakerState, CircuitBreaker, OutlierConfig, OutlierDetector};
+use meshlayer_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One step of the breaker state machine. Outcome ops apply only while
+/// an admitted attempt is outstanding (the sidecar never reports an
+/// outcome for an attempt it was refused).
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Admit,
+    Success,
+    Failure,
+    Cancel,
+}
+
+fn op_strategy() -> impl Strategy<Value = (Op, u32)> {
+    // Each op advances time by 0..2000 ms, so sequences cross the
+    // open-duration boundary regularly.
+    (0u8..4, 0u32..2000).prop_map(|(op, dt_ms)| {
+        let op = match op {
+            0 => Op::Admit,
+            1 => Op::Success,
+            2 => Op::Failure,
+            _ => Op::Cancel,
+        };
+        (op, dt_ms)
+    })
+}
+
+proptest! {
+    /// Under any op sequence: `pending` exactly tracks outstanding
+    /// admissions (never underflows past them), at most one half-open
+    /// probe is ever in flight, and a cancel never changes the failure
+    /// streak or the breaker state.
+    #[test]
+    fn breaker_state_machine_invariants(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+        threshold in 1u32..6,
+        open_ms in 1u64..3000,
+    ) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_duration: SimDuration::from_millis(open_ms),
+            max_pending: 0,
+        });
+        let mut now = SimTime::ZERO;
+        let mut outstanding = 0usize;
+        for (op, dt_ms) in ops {
+            now += SimDuration::from_millis(dt_ms as u64);
+            match op {
+                Op::Admit => {
+                    // A second admit while the half-open probe is in
+                    // flight must always be refused.
+                    let probe_taken =
+                        b.state(now) == BreakerState::HalfOpen && b.probe_inflight();
+                    let admitted = b.try_admit(now);
+                    if probe_taken {
+                        prop_assert!(!admitted, "second half-open probe admitted");
+                    }
+                    if admitted {
+                        outstanding += 1;
+                    }
+                }
+                Op::Success => {
+                    if outstanding > 0 {
+                        b.on_success(now);
+                        outstanding -= 1;
+                        prop_assert_eq!(b.consecutive_failures(), 0);
+                    }
+                }
+                Op::Failure => {
+                    if outstanding > 0 {
+                        b.on_failure(now);
+                        outstanding -= 1;
+                    }
+                }
+                Op::Cancel => {
+                    if outstanding > 0 {
+                        let cf = b.consecutive_failures();
+                        let state = b.state(now);
+                        b.on_cancel(now);
+                        outstanding -= 1;
+                        prop_assert_eq!(
+                            b.consecutive_failures(), cf,
+                            "cancel reset the failure streak"
+                        );
+                        prop_assert_eq!(
+                            b.state(now), state,
+                            "cancel changed the breaker state"
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(b.pending(), outstanding, "pending drifted from outstanding");
+            if b.state(now) == BreakerState::HalfOpen {
+                // The probe slot is in flight only while an admitted
+                // attempt is actually outstanding.
+                prop_assert!(
+                    !b.probe_inflight() || outstanding > 0,
+                    "probe marked in flight with nothing outstanding"
+                );
+            }
+        }
+    }
+
+    /// `failure_threshold` consecutive failures always open the breaker;
+    /// it refuses everything until the open period elapses, then exactly
+    /// one probe is admitted.
+    #[test]
+    fn breaker_opens_at_threshold_and_probes_once(
+        threshold in 1u32..8,
+        open_ms in 1u64..5000,
+    ) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_duration: SimDuration::from_millis(open_ms),
+            max_pending: 0,
+        });
+        let t0 = SimTime::from_secs(1);
+        for _ in 0..threshold {
+            prop_assert!(b.try_admit(t0));
+            b.on_failure(t0);
+        }
+        prop_assert_eq!(b.state(t0), BreakerState::Open);
+        prop_assert!(!b.try_admit(t0));
+        let half_open = t0 + SimDuration::from_millis(open_ms);
+        prop_assert_eq!(b.state(half_open), BreakerState::HalfOpen);
+        prop_assert!(b.try_admit(half_open), "first probe admitted");
+        prop_assert!(!b.try_admit(half_open), "second probe refused");
+        // A successful probe closes; the breaker is fresh again.
+        b.on_success(half_open);
+        prop_assert_eq!(b.state(half_open), BreakerState::Closed);
+        prop_assert_eq!(b.consecutive_failures(), 0);
+        prop_assert_eq!(b.pending(), 0);
+    }
+
+    /// A cancelled half-open probe re-arms the probe slot (the next
+    /// request may probe) but leaves the breaker half-open — only a real
+    /// outcome moves the state.
+    #[test]
+    fn cancelled_probe_rearms_without_closing(open_ms in 1u64..5000) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_duration: SimDuration::from_millis(open_ms),
+            max_pending: 0,
+        });
+        let t0 = SimTime::from_secs(1);
+        prop_assert!(b.try_admit(t0));
+        b.on_failure(t0);
+        let t1 = t0 + SimDuration::from_millis(open_ms);
+        prop_assert!(b.try_admit(t1));
+        b.on_cancel(t1);
+        prop_assert_eq!(b.state(t1), BreakerState::HalfOpen, "cancel must not close");
+        prop_assert!(!b.probe_inflight(), "cancel must release the probe slot");
+        prop_assert!(b.try_admit(t1), "next request may probe again");
+    }
+
+    /// Ejection timing: exactly `consecutive_5xx` server errors eject a
+    /// pod for exactly `base_ejection` (times the ejection count), and
+    /// any interleaved success resets the streak.
+    #[test]
+    fn outlier_ejects_after_streak_and_unejects_on_time(
+        k in 1u32..8,
+        eject_ms in 1u64..10_000,
+    ) {
+        let mut d = OutlierDetector::new(OutlierConfig {
+            consecutive_5xx: k,
+            base_ejection: SimDuration::from_millis(eject_ms),
+            max_ejection_ratio: 0.5,
+        });
+        let pod = PodId(0);
+        let now = SimTime::from_secs(1);
+        for i in 0..k {
+            prop_assert!(!d.is_ejected(pod, now), "ejected before the streak completed ({i})");
+            d.on_response(pod, StatusCode::UNAVAILABLE, now, 4);
+        }
+        prop_assert!(d.is_ejected(pod, now + SimDuration::from_nanos(1)));
+        let until = now + SimDuration::from_millis(eject_ms);
+        prop_assert!(d.is_ejected(pod, SimTime::from_nanos(until.as_nanos() - 1)));
+        prop_assert!(!d.is_ejected(pod, until), "unejection is exact");
+
+        // A success mid-streak resets the count: k-1 errors, a success,
+        // then k-1 more errors never eject.
+        let mut d2 = OutlierDetector::new(OutlierConfig {
+            consecutive_5xx: k,
+            base_ejection: SimDuration::from_millis(eject_ms),
+            max_ejection_ratio: 0.5,
+        });
+        for _ in 0..k.saturating_sub(1) {
+            d2.on_response(pod, StatusCode::UNAVAILABLE, now, 4);
+        }
+        d2.on_response(pod, StatusCode(200), now, 4);
+        for _ in 0..k.saturating_sub(1) {
+            d2.on_response(pod, StatusCode::UNAVAILABLE, now, 4);
+        }
+        prop_assert!(!d2.is_ejected(pod, now + SimDuration::from_nanos(1)));
+    }
+
+    /// Repeat offenders stay out longer: the n-th ejection of the same
+    /// pod lasts n × base_ejection.
+    #[test]
+    fn outlier_ejection_backoff_scales(eject_ms in 1u64..5_000) {
+        let mut d = OutlierDetector::new(OutlierConfig {
+            consecutive_5xx: 1,
+            base_ejection: SimDuration::from_millis(eject_ms),
+            max_ejection_ratio: 0.5,
+        });
+        let pod = PodId(0);
+        let t0 = SimTime::from_secs(1);
+        d.on_response(pod, StatusCode::UNAVAILABLE, t0, 4);
+        let first_until = t0 + SimDuration::from_millis(eject_ms);
+        prop_assert!(!d.is_ejected(pod, first_until));
+        // Re-offend after the first ejection lapses: 2x duration now.
+        d.on_response(pod, StatusCode::UNAVAILABLE, first_until, 4);
+        let second_until = first_until + SimDuration::from_millis(2 * eject_ms);
+        prop_assert!(d.is_ejected(pod, SimTime::from_nanos(second_until.as_nanos() - 1)));
+        prop_assert!(!d.is_ejected(pod, second_until));
+    }
+
+    /// The ejected fraction is bounded: with a pool of `n` and ratio
+    /// `r`, at most `max(1, floor(n*r))` (and never all) pods are out at
+    /// once, and `healthy()` never returns an empty list.
+    #[test]
+    fn outlier_never_ejects_whole_pool(
+        n in 2usize..8,
+        ratio in 0.0f64..1.0,
+        errors in prop::collection::vec(0u32..8, 1..200),
+    ) {
+        let mut d = OutlierDetector::new(OutlierConfig {
+            consecutive_5xx: 1,
+            base_ejection: SimDuration::from_secs(3600),
+            max_ejection_ratio: ratio,
+        });
+        let pods: Vec<PodId> = (0..n as u32).map(PodId).collect();
+        let now = SimTime::from_secs(1);
+        for e in errors {
+            let pod = pods[e as usize % n];
+            d.on_response(pod, StatusCode::UNAVAILABLE, now, n);
+            let check = now + SimDuration::from_nanos(1);
+            let ejected = pods.iter().filter(|&&p| d.is_ejected(p, check)).count();
+            let allowed = ((n as f64) * ratio).floor() as usize;
+            prop_assert!(
+                ejected <= allowed.max(1).min(n - 1),
+                "{ejected} of {n} ejected exceeds the bound"
+            );
+            prop_assert!(!d.healthy(&pods, check).is_empty());
+        }
+    }
+}

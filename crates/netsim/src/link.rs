@@ -58,6 +58,8 @@ pub struct LinkStats {
     pub peak_queue_pkts: usize,
     /// Peak queue depth observed (bytes).
     pub peak_queue_bytes: u64,
+    /// Packets dropped because the link was administratively down.
+    pub admin_drops: u64,
 }
 
 /// A unidirectional link: tail qdisc + serializing wire.
@@ -74,6 +76,7 @@ pub struct Link {
     pending_kick: Option<SimTime>,
     stats: LinkStats,
     tap: Option<Arc<dyn PacketTap>>,
+    admin_up: bool,
 }
 
 impl Link {
@@ -101,6 +104,7 @@ impl Link {
             pending_kick: None,
             stats: LinkStats::default(),
             tap: None,
+            admin_up: true,
         }
     }
 
@@ -168,9 +172,9 @@ impl Link {
         &self.stats
     }
 
-    /// Packets dropped by the qdisc since creation.
+    /// Packets dropped since creation (qdisc overflow + admin-down drops).
     pub fn drops(&self) -> u64 {
-        self.qdisc.dropped()
+        self.qdisc.dropped() + self.stats.admin_drops
     }
 
     /// Current queue depth in packets (excluding the in-flight packet).
@@ -196,9 +200,37 @@ impl Link {
         busy as f64 / elapsed as f64
     }
 
+    /// Administratively bring the link up or down (chaos plane: link flaps
+    /// and partitions). While down, every offered packet is dropped on the
+    /// floor; packets already queued or in flight drain normally, matching
+    /// an interface whose carrier drops mid-transfer.
+    pub fn set_admin_up(&mut self, up: bool) {
+        self.admin_up = up;
+    }
+
+    /// Whether the link is administratively up.
+    pub fn is_admin_up(&self) -> bool {
+        self.admin_up
+    }
+
     /// A packet arrives at the tail. Returns what to schedule next and
     /// whether the packet was dropped (`true` = dropped).
     pub fn offer(&mut self, pkt: Packet, now: SimTime) -> (LinkOutcome, bool) {
+        if !self.admin_up {
+            if let Some(tap) = &self.tap {
+                tap.on_packet(TapEvent {
+                    link: self.id,
+                    op: TapOp::Drop,
+                    pkt: &pkt,
+                    band: self.qdisc.band_of(self.tc.classify(&pkt)),
+                    queue_pkts: self.qdisc.len(),
+                    queue_bytes: self.qdisc.byte_len(),
+                    now,
+                });
+            }
+            self.stats.admin_drops += 1;
+            return (LinkOutcome::Idle, true);
+        }
         let class = self.tc.classify(&pkt);
         // Snapshot for the tap before the qdisc consumes the packet.
         let snapshot = self.tap.is_some().then(|| pkt.clone());
@@ -458,6 +490,41 @@ mod tests {
         assert_eq!(link.queue_len(), 2);
         link.set_qdisc(Box::new(DropTail::new(50)), t0);
         assert_eq!(link.queue_len(), 2);
+    }
+
+    #[test]
+    fn admin_down_drops_offers_and_drains_backlog() {
+        let mut link = mklink(1_000_000_000);
+        let t0 = SimTime::ZERO;
+        let (out, _) = link.offer(pkt(1, 1434), t0); // in flight
+        let d1 = match out {
+            LinkOutcome::Busy { done_at } => done_at,
+            _ => panic!(),
+        };
+        link.offer(pkt(2, 1434), t0); // queued
+        link.set_admin_up(false);
+        assert!(!link.is_admin_up());
+        // New offers drop on the floor without touching the queue.
+        let (out3, dropped) = link.offer(pkt(3, 1434), t0);
+        assert!(dropped);
+        assert_eq!(out3, LinkOutcome::Idle);
+        assert_eq!(link.queue_len(), 1);
+        assert_eq!(link.drops(), 1);
+        assert_eq!(link.stats().admin_drops, 1);
+        // Already-queued traffic still drains.
+        let (p1, next) = link.on_tx_done(d1);
+        assert_eq!(p1.id, 1);
+        let d2 = match next {
+            LinkOutcome::Busy { done_at } => done_at,
+            _ => panic!(),
+        };
+        let (p2, _) = link.on_tx_done(d2);
+        assert_eq!(p2.id, 2);
+        // Re-up: offers flow again, no kick needed.
+        link.set_admin_up(true);
+        let (out4, dropped4) = link.offer(pkt(4, 1434), d2);
+        assert!(!dropped4);
+        assert!(matches!(out4, LinkOutcome::Busy { .. }));
     }
 
     #[test]

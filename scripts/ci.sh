@@ -79,6 +79,41 @@ if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
     exit 1
   fi
 
+  echo "== chaos plane: all-fault-kinds record/replay + fault-rooted chain =="
+  # The canonical chaos capture schedules every fault kind (crash+restart,
+  # gray failure, link flap, rollback, partition) in one short run.
+  # Faults are engine events, so the determinism bar is unchanged: record
+  # sequentially, replay on the 4-thread sharded engine, zero divergence.
+  MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=3 MESHLAYER_WARMUP=1 \
+    cargo run --offline --release -q -p meshlayer-bench --bin a7_chaos -- --record --threads 1
+  chaos_replay="$(MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=3 MESHLAYER_WARMUP=1 \
+    cargo run --offline --release -q -p meshlayer-bench --bin a7_chaos -- --replay --threads 4)"
+  echo "$chaos_replay"
+  rm -f "$flight_out/a7_chaos.flight"
+  if ! grep -q "0 divergences" <<<"$chaos_replay"; then
+    echo "ci: 4-thread replay of the chaos capture diverged" >&2
+    exit 1
+  fi
+  # meshctl chaos is the incident loop plus injected faults: the causal
+  # chain must now *begin at the injected fault*, and the report must
+  # stay byte-identical across runs like the fault-free one above.
+  chaos_a="$(MESHLAYER_OUT="$flight_out" \
+    cargo run --offline --release -q --bin meshctl -- chaos 80 4)"
+  echo "$chaos_a"
+  rm -f "$flight_out/chaos.flight"
+  if ! grep -q "causal chain: fault-inject([1-9][0-9]*) ->" <<<"$chaos_a"; then
+    echo "ci: chaos incident chain does not begin at the injected fault" >&2
+    exit 1
+  fi
+  chaos_b="$(MESHLAYER_OUT="$flight_out" \
+    cargo run --offline --release -q --bin meshctl -- chaos 80 4)"
+  rm -f "$flight_out/chaos.flight"
+  if [[ "$chaos_a" != "$chaos_b" ]]; then
+    echo "ci: chaos incident run is not deterministic across identical runs" >&2
+    diff <(echo "$chaos_a") <(echo "$chaos_b") >&2 || true
+    exit 1
+  fi
+
   echo "== telemetry plane: fleet-scale memory ceiling =="
   # ~1000 classes + pods + gauges driven through the hub for thousands
   # of scrapes: the retention pyramid must hold the footprint under a

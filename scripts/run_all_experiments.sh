@@ -40,6 +40,7 @@ run $((SECS / 3 + 1)) a3_lb_tail
 run $((SECS / 3 + 1)) a4_hedging
 run $((SECS / 4 + 1)) a5_sdn
 run $((SECS / 3 + 1)) a6_adaptation
+run $((SECS / 2)) a7_chaos
 
 echo
 echo "all experiment outputs in $OUT/"

@@ -7,6 +7,7 @@
 //! meshctl ablate [RPS] [SECS]      # toggle each optimization site (A1-style)
 //! meshctl top [RPS] [SECS]         # hierarchical latency roll-up (pod -> service -> zone -> mesh)
 //! meshctl incident [RPS] [SECS]    # closed-loop incident: ordered causal timeline
+//! meshctl chaos [RPS] [SECS]       # incident with an injected fault script (A7-style)
 //! meshctl policy dump [PRESET]     # render a policy snapshot (baseline|prototype|full)
 //! meshctl policy diff A B          # toggle-level diff between two presets
 //! meshctl validate-trace PATH      # check a --profile Chrome trace JSON file
@@ -16,16 +17,16 @@
 
 use meshlayer::apps::{elibrary, ElibraryParams};
 use meshlayer::core::{
-    build_incident_report, AdaptationConfig, PolicySnapshot, RunMetrics, SimSpec, Simulation,
-    XLayerConfig,
+    build_incident_report, AdaptationConfig, FaultKind, FaultScript, PolicySnapshot, RunMetrics,
+    SimSpec, Simulation, XLayerConfig,
 };
 use meshlayer::mesh::Sampling;
-use meshlayer::simcore::SimDuration;
+use meshlayer::simcore::{SimDuration, SimTime};
 use meshlayer::telemetry::{SloTarget, TelemetryConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: meshctl <topology|run|trace|ablate|top|incident> [RPS] [SECS]");
+    eprintln!("usage: meshctl <topology|run|trace|ablate|top|incident|chaos> [RPS] [SECS]");
     eprintln!("       meshctl policy <dump [PRESET] | diff PRESET PRESET>");
     eprintln!("       meshctl validate-trace PATH");
     eprintln!("       presets: baseline | prototype | full");
@@ -188,7 +189,39 @@ fn cmd_top(rps: f64, secs: u64) -> ExitCode {
 /// alerts, anomalies, the policy transition, per-layer acks and the
 /// recovery into one ordered causal timeline.
 fn cmd_incident(rps: f64, secs: u64) -> ExitCode {
+    run_incident(rps, secs, None, "incident")
+}
+
+/// `meshctl chaos`: the same closed loop with a deterministic fault
+/// script injected mid-run — a gray `ratings` replica followed by a
+/// short `reviews` partition. The capture tags every injection, so the
+/// timeline's causal chain starts at the fault, not at the alert.
+fn cmd_chaos(rps: f64, secs: u64) -> ExitCode {
+    let script = FaultScript::new()
+        .with(
+            SimTime::from_millis(secs * 1000 / 4),
+            FaultKind::GrayFailure {
+                service: "ratings".into(),
+                replica: 0,
+                speed_factor: 2.0,
+                failure_rate: 0.4,
+                clear_after: Some(SimDuration::from_millis(secs * 1000 / 5)),
+            },
+        )
+        .with(
+            SimTime::from_millis(secs * 1000 / 2),
+            FaultKind::Partition {
+                service: "reviews".into(),
+                heal_after: SimDuration::from_millis(secs * 1000 / 8),
+            },
+        );
+    print!("{}", script.render());
+    run_incident(rps, secs, Some(script), "chaos")
+}
+
+fn run_incident(rps: f64, secs: u64, chaos: Option<FaultScript>, name: &str) -> ExitCode {
     let mut spec = spec_at(rps, secs, XLayerConfig::baseline());
+    spec.chaos = chaos;
     spec.config.telemetry = TelemetryConfig::default().with_target(SloTarget::new(
         "latency-sensitive",
         SimDuration::from_millis(100),
@@ -202,8 +235,8 @@ fn cmd_incident(rps: f64, secs: u64) -> ExitCode {
     let out_dir = std::path::PathBuf::from(
         std::env::var("MESHLAYER_OUT").unwrap_or_else(|_| "results".into()),
     );
-    let flight_path = out_dir.join("incident.flight");
-    if let Err(e) = sim.record_to("incident", &flight_path) {
+    let flight_path = out_dir.join(format!("{name}.flight"));
+    if let Err(e) = sim.record_to(name, &flight_path) {
         eprintln!(
             "cannot attach flight capture at {}: {e}",
             flight_path.display()
@@ -298,7 +331,11 @@ fn main() -> ExitCode {
     }
     // `incident` needs a contended load for the SLO to burn at all; the
     // other commands default to the paper's moderate operating point.
-    let default_rps = if cmd == "incident" { 80.0 } else { 30.0 };
+    let default_rps = if cmd == "incident" || cmd == "chaos" {
+        80.0
+    } else {
+        30.0
+    };
     let rps: f64 = args
         .get(1)
         .and_then(|a| a.parse().ok())
@@ -314,6 +351,7 @@ fn main() -> ExitCode {
         "ablate" => cmd_ablate(rps, secs),
         "top" => cmd_top(rps, secs),
         "incident" => cmd_incident(rps, secs),
+        "chaos" => cmd_chaos(rps, secs),
         _ => usage(),
     }
 }
