@@ -20,13 +20,21 @@
 //!   measured serial-fraction/Amdahl summary per thread count.
 //! - `--overhead-check`: paired 1-thread smoke — fail (exit 1) if the
 //!   profiled run's events/sec drops below 95 % of the unprofiled run's.
+//! - `--topo 100,250,1000`: pod counts for the topology-scale axis —
+//!   one generated zonal fabric per count, driven at 10⁵ RPS (2·10⁴
+//!   under `--smoke`), emitted as `topo_scale` rows. Defaults to
+//!   `100,250,1000` (or `50,200` under `--smoke`); `--topo 0` skips the
+//!   axis entirely.
 //!
 //! Defaults to `MESHLAYER_SECS=10` (not the harness-wide 30) — long
 //! enough for stable throughput, short enough to run on every PR.
+//! Topology-scale rows cap at 2 sim-seconds each: at 10⁵ offered RPS a
+//! generated fabric processes tens of millions of events in that window
+//! already.
 
 use meshlayer_bench::{
-    artifact_dir, engine_scaling_bench, run_elibrary_profiled, write_profile_artifact,
-    EngineBenchReport, RunLength,
+    artifact_dir, engine_scaling_bench, run_elibrary_profiled, topo_scale_bench,
+    write_profile_artifact, EngineBenchReport, RunLength,
 };
 use meshlayer_core::XLayerConfig;
 
@@ -96,6 +104,35 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| vec![1]);
+    // `--topo` takes a comma list of pod counts; `0` entries are dropped,
+    // so `--topo 0` skips the topology-scale axis.
+    let topo_pods: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--topo")
+        .map(|i| {
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!(
+                    "bench_engine: --topo requires a comma list of pod counts, e.g. 100,1000"
+                );
+                std::process::exit(2);
+            });
+            v.split(',')
+                .map(|p| {
+                    p.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("bench_engine: bad pod count {p:?} in --topo {v}");
+                        std::process::exit(2);
+                    })
+                })
+                .filter(|&n: &usize| n > 0)
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            if smoke {
+                vec![50, 200]
+            } else {
+                vec![100, 250, 1000]
+            }
+        });
 
     let mut len = RunLength::from_env();
     if std::env::var("MESHLAYER_SECS").is_err() {
@@ -119,7 +156,21 @@ fn main() {
         len.secs,
         points.len() * 2
     );
-    let report = engine_scaling_bench(&points, len, &thread_counts);
+    let mut report = engine_scaling_bench(&points, len, &thread_counts);
+    if !topo_pods.is_empty() {
+        let topo_rps = if smoke { 20_000.0 } else { 100_000.0 };
+        // Generated fabrics process orders of magnitude more events per
+        // sim-second than the e-library sweep; 2 sim-seconds per fabric
+        // keeps the artifact regenerable on every PR.
+        let mut tl = len;
+        tl.secs = tl.secs.min(2);
+        tl.threads = 1;
+        eprintln!(
+            "bench_engine: topology scale, pods={topo_pods:?} at {topo_rps:.0} rps, {}s per fabric...",
+            tl.secs
+        );
+        report.topo_scale = topo_scale_bench(&topo_pods, topo_rps, tl);
+    }
     print!("{}", report.render());
     write_profile_artifact();
 

@@ -1,0 +1,207 @@
+//! Deterministic generation of multi-tier fan-out applications.
+//!
+//! Production meshes are not four hand-written services: they are trees
+//! of tens of services with replica pools in the hundreds. This module
+//! generates such an application from a handful of parameters, fully
+//! deterministically — the same [`ServiceTreeParams`] (including the
+//! seed) always produce byte-identical [`ServiceSpec`]s, so generated
+//! topologies participate in capture/replay like hand-written ones.
+//!
+//! The shape is a complete `fanout`-ary tree of `tiers` tiers: the root
+//! (tier 0) is named `frontend` (the default workload authority), and
+//! tier `t` service `i` fans out to `fanout` children in tier `t + 1`.
+//! Non-leaf services do a short exponential compute then call all their
+//! children in parallel; leaves just compute and respond.
+
+use crate::behavior::{CallStep, ServiceBehavior};
+use crate::cluster::ServiceSpec;
+use meshlayer_simcore::{Dist, SimRng};
+
+/// Parameters of a generated multi-tier fan-out service tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceTreeParams {
+    /// Seed for the deterministic replica-count jitter.
+    pub seed: u64,
+    /// Tree depth, including the frontend tier (≥ 1).
+    pub tiers: usize,
+    /// Children per non-leaf service (≥ 1).
+    pub fanout: usize,
+    /// Base replica count per service.
+    pub replicas: u32,
+    /// Half-width of the deterministic per-service replica jitter: each
+    /// service gets `replicas ± spread` replicas (clamped at 1), drawn
+    /// from a stream split off the seed. `0` keeps pools uniform.
+    pub replica_spread: u32,
+    /// Mean compute (seconds, exponential) at non-leaf services.
+    pub mid_compute_secs: f64,
+    /// Mean compute (seconds, exponential) at leaf services.
+    pub leaf_compute_secs: f64,
+    /// Response body size (bytes) of every service.
+    pub response_bytes: f64,
+}
+
+impl Default for ServiceTreeParams {
+    fn default() -> Self {
+        ServiceTreeParams {
+            seed: 1,
+            tiers: 3,
+            fanout: 3,
+            replicas: 4,
+            replica_spread: 0,
+            mid_compute_secs: 200e-6,
+            leaf_compute_secs: 500e-6,
+            response_bytes: 1000.0,
+        }
+    }
+}
+
+impl ServiceTreeParams {
+    /// Services in tier `t` (`fanout^t`).
+    fn tier_width(&self, t: usize) -> usize {
+        self.fanout.max(1).pow(t as u32)
+    }
+
+    /// Total number of services in the tree.
+    pub fn service_count(&self) -> usize {
+        (0..self.tiers.max(1)).map(|t| self.tier_width(t)).sum()
+    }
+
+    /// Name of tier `t` service `i` — `frontend` for the root, else
+    /// `svc-t{t}-{i}`.
+    pub fn service_name(&self, t: usize, i: usize) -> String {
+        if t == 0 {
+            "frontend".to_string()
+        } else {
+            format!("svc-t{t}-{i}")
+        }
+    }
+}
+
+/// Generate the service tree. The result is a pure function of the
+/// parameters: call order, names and replica draws are all fixed.
+pub fn service_tree(p: &ServiceTreeParams) -> Vec<ServiceSpec> {
+    let tiers = p.tiers.max(1);
+    let fanout = p.fanout.max(1);
+    let rng = SimRng::new(p.seed);
+    let mut specs = Vec::with_capacity(p.service_count());
+    let mut global = 0u64;
+    for t in 0..tiers {
+        for i in 0..p.tier_width(t) {
+            let name = p.service_name(t, i);
+            let behavior = if t + 1 == tiers {
+                ServiceBehavior::leaf(p.leaf_compute_secs, p.response_bytes)
+            } else {
+                let calls: Vec<CallStep> = (0..fanout)
+                    .map(|k| CallStep::call(p.service_name(t + 1, i * fanout + k), "/op"))
+                    .collect();
+                ServiceBehavior {
+                    on_request: CallStep::Seq(vec![
+                        CallStep::Compute(Dist::exp(p.mid_compute_secs)),
+                        CallStep::Par(calls),
+                    ]),
+                    response_bytes: Dist::constant(p.response_bytes),
+                }
+            };
+            let replicas = if p.replica_spread == 0 {
+                p.replicas
+            } else {
+                let span = 2 * p.replica_spread as u64 + 1;
+                let draw = rng.split_idx("svc-replicas", global).u64() % span;
+                (p.replicas + draw as u32)
+                    .saturating_sub(p.replica_spread)
+                    .max(1)
+            };
+            specs.push(ServiceSpec::new(name, replicas, behavior));
+            global += 1;
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_shape_and_names() {
+        let p = ServiceTreeParams {
+            tiers: 3,
+            fanout: 2,
+            replicas: 2,
+            ..ServiceTreeParams::default()
+        };
+        let specs = service_tree(&p);
+        assert_eq!(specs.len(), 1 + 2 + 4);
+        assert_eq!(specs[0].name, "frontend");
+        assert_eq!(specs[1].name, "svc-t1-0");
+        assert_eq!(specs[6].name, "svc-t2-3");
+        // Root calls exactly its two tier-1 children.
+        assert_eq!(specs[0].behaviors[0].1.on_request.call_count(), 2);
+        // Leaves call nobody.
+        assert_eq!(specs[6].behaviors[0].1.on_request.call_count(), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = ServiceTreeParams {
+            replica_spread: 2,
+            ..ServiceTreeParams::default()
+        };
+        let a = service_tree(&p);
+        let b = service_tree(&p);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // A different seed moves at least one replica count.
+        let c = service_tree(&ServiceTreeParams { seed: 99, ..p });
+        assert_ne!(
+            a.iter().map(|s| s.replicas).collect::<Vec<_>>(),
+            c.iter().map(|s| s.replicas).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn replica_jitter_stays_positive() {
+        let p = ServiceTreeParams {
+            replicas: 1,
+            replica_spread: 5,
+            ..ServiceTreeParams::default()
+        };
+        for s in service_tree(&p) {
+            assert!(s.replicas >= 1);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// For any tree shape, seed and jitter width: the tree is
+        /// complete (every non-root tier fully populated, every
+        /// non-leaf calling its full fan-out) and every replica pool is
+        /// non-empty — a zero-replica service would silently blackhole
+        /// its whole subtree.
+        #[test]
+        fn generated_tree_complete_with_nonempty_pools(
+            seed in 0u64..1000,
+            tiers in 1usize..5,
+            fanout in 1usize..4,
+            replicas in 1u32..6,
+            replica_spread in 0u32..8,
+        ) {
+            let p = ServiceTreeParams {
+                seed,
+                tiers,
+                fanout,
+                replicas,
+                replica_spread,
+                ..ServiceTreeParams::default()
+            };
+            let specs = service_tree(&p);
+            proptest::prop_assert_eq!(specs.len(), p.service_count());
+            for (i, s) in specs.iter().enumerate() {
+                proptest::prop_assert!(s.replicas >= 1, "{} has no replicas", s.name);
+                let calls = s.behaviors[0].1.on_request.call_count();
+                let is_leaf = i >= p.service_count() - p.tier_width(p.tiers - 1);
+                proptest::prop_assert_eq!(calls, if is_leaf { 0 } else { p.fanout });
+            }
+        }
+    }
+}

@@ -26,9 +26,11 @@
 pub mod behavior;
 pub mod cluster;
 pub mod compute;
+pub mod gen;
 pub mod scheduler;
 
 pub use behavior::{CallStep, ServiceBehavior};
 pub use cluster::{Cluster, Pod, PodId, ServiceId, ServiceSpec, Subset};
 pub use compute::{Admission, ComputeConfig, PodCompute};
+pub use gen::{service_tree, ServiceTreeParams};
 pub use scheduler::{Placement, Scheduler};

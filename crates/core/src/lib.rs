@@ -40,12 +40,13 @@ pub mod policy;
 pub mod provenance;
 pub mod sdn;
 pub mod sim;
+pub mod topo_gen;
 pub mod xlayer;
 
 pub use incident::{build_incident_report, IncidentEvent, IncidentReport};
 pub use meshlayer_chaos::{FaultCode, FaultEvent, FaultKind, FaultScript};
 pub use metrics::{EvProfile, LinkReport, PodReport, RunMetrics, TransportReport};
-pub use netplan::{Fabric, NetworkPlan};
+pub use netplan::{Fabric, FabricKind, NetworkPlan};
 pub use policy::{
     AdaptationConfig, AdaptationController, ApplyPolicy, FabricPrioSurface, HostTcSurface,
     PolicyCtx, PolicyLayer, PolicyPlane, PolicySnapshot, PolicyTransition,
@@ -53,6 +54,7 @@ pub use policy::{
 pub use provenance::{request_priority, Classifier, Priority};
 pub use sdn::SdnController;
 pub use sim::{FlightOutcome, SimConfig, SimSpec, Simulation, INGRESS_SERVICE};
+pub use topo_gen::TopoParams;
 pub use xlayer::{
     install_host_tc, install_net_prio, install_priority_routes, XLayerConfig, HIGH_PRIO_SHARE,
 };

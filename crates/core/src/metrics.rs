@@ -156,19 +156,14 @@ impl RunMetrics {
             })
             .collect();
         let mut fleet = SidecarStats::default();
-        let mut names: Vec<_> = sim.sidecars.keys().copied().collect();
-        names.sort();
-        for pod in names {
-            fleet.merge(sim.sidecars[&pod].stats());
+        for (_, sc) in sim.sidecars.iter() {
+            fleet.merge(sc.stats());
         }
         let mut transport = TransportReport {
             connections: sim.conns.len(),
             ..TransportReport::default()
         };
-        let mut conn_ids: Vec<u64> = sim.conns.keys().copied().collect();
-        conn_ids.sort_unstable();
-        for id in conn_ids {
-            let pair = &sim.conns[&id];
+        for (_, pair) in sim.conns.iter() {
             for c in [&pair.a, &pair.b] {
                 let s = c.stats();
                 transport.fast_retx += s.fast_retx;
@@ -256,6 +251,9 @@ impl RunMetrics {
                 c.class, c.completed, c.p50_ms, c.p90_ms, c.p99_ms, c.mean_ms, c.failed
             ));
         }
+        // Busiest links only: a generated thousand-pod fabric has
+        // thousands of links, so everything past the top rows collapses
+        // into one aggregate remainder line.
         let mut hot: Vec<&LinkReport> =
             self.links.iter().filter(|l| l.utilization > 0.01).collect();
         hot.sort_by(|a, b| b.utilization.partial_cmp(&a.utilization).unwrap());
@@ -266,6 +264,19 @@ impl RunMetrics {
                 l.utilization * 100.0,
                 l.drops,
                 l.peak_queue_pkts
+            ));
+        }
+        let rest: Vec<&&LinkReport> = hot.iter().skip(6).collect();
+        if !rest.is_empty() {
+            let tx: u64 = rest.iter().map(|l| l.tx_bytes).sum();
+            let drops: u64 = rest.iter().map(|l| l.drops).sum();
+            let max_util = rest.iter().map(|l| l.utilization).fold(0.0f64, f64::max);
+            out.push_str(&format!(
+                "  link ... {} more >1% util     {:>6.1}% max util, {} drops, {} tx bytes total\n",
+                rest.len(),
+                max_util * 100.0,
+                drops,
+                tx,
             ));
         }
         out.push_str(&format!(

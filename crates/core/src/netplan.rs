@@ -7,10 +7,35 @@
 //! per-service rate overrides so e.g. `ratings` gets a 1 Gbps access link.
 
 use meshlayer_cluster::{Cluster, PodId};
-use meshlayer_netsim::{DropTail, NodeId, Qdisc, Topology};
+use meshlayer_netsim::{DropTail, HierEntry, NodeId, Qdisc, Topology};
 use meshlayer_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Physical shape of the pod interconnect.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum FabricKind {
+    /// Single-switch star — the paper's emulated testbed: every pod
+    /// hangs off one virtual switch by a duplex access link.
+    #[default]
+    Star,
+    /// A zonal spine-leaf fabric for production-scale experiments:
+    /// `zones * leaves_per_zone` leaf switches, each serving a
+    /// contiguous block of pods, all cross-connected to `spines` spine
+    /// switches.
+    ZonalSpineLeaf {
+        /// Number of availability zones (names leaves `z{zone}-leaf{i}`).
+        zones: usize,
+        /// Leaf switches per zone.
+        leaves_per_zone: usize,
+        /// Spine switches (every leaf uplinks to every spine).
+        spines: usize,
+        /// Ratio of aggregate host-facing to spine-facing bandwidth per
+        /// leaf; a typical datacenter value is 2.0–4.0. Spine-link rate
+        /// is `hosts_per_leaf * default_rate / (spines * oversubscription)`.
+        oversubscription: f64,
+    },
+}
 
 /// Declarative link plan.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -28,6 +53,8 @@ pub struct NetworkPlan {
     pub link_delay: SimDuration,
     /// Access-link queue capacity, packets (DropTail baseline).
     pub queue_pkts: usize,
+    /// Interconnect shape (star testbed vs generated spine-leaf).
+    pub fabric: FabricKind,
 }
 
 impl Default for NetworkPlan {
@@ -38,6 +65,7 @@ impl Default for NetworkPlan {
             pod_rate_bps: HashMap::new(),
             link_delay: SimDuration::from_micros(25),
             queue_pkts: 512,
+            fabric: FabricKind::Star,
         }
     }
 }
@@ -62,55 +90,216 @@ impl NetworkPlan {
             .copied()
             .unwrap_or(self.default_rate_bps)
     }
+
+    /// Select the interconnect shape.
+    pub fn with_fabric(mut self, fabric: FabricKind) -> Self {
+        self.fabric = fabric;
+        self
+    }
 }
 
 /// The realized network: topology plus pod↔node mappings.
 pub struct Fabric {
-    /// The packet topology (switch + per-pod nodes).
+    /// The packet topology (switches + per-pod nodes).
     pub topology: Topology,
     /// Topology node of each pod (indexed by `PodId.0`).
     pub pod_node: Vec<NodeId>,
     /// Reverse map: topology node → pod.
     pub node_pod: HashMap<NodeId, PodId>,
-    /// The central switch node.
+    /// The star's central switch; for a spine-leaf fabric, the first
+    /// spine (a representative non-pod node).
     pub switch: NodeId,
+    /// Access switch of each pod (indexed by `PodId.0`): the star
+    /// switch, or the pod's leaf in a spine-leaf fabric.
+    pub attach: Vec<NodeId>,
 }
 
 impl Fabric {
-    /// Build the star fabric for every pod in `cluster`.
+    /// Build the fabric selected by `plan.fabric` for every pod in
+    /// `cluster`. Both shapes install a hierarchical next-hop table
+    /// ([`Topology::install_hier`]), so route state is O(nodes + links)
+    /// regardless of fleet size.
     pub fn build(cluster: &Cluster, plan: &NetworkPlan) -> Fabric {
+        match plan.fabric {
+            FabricKind::Star => Self::build_star(cluster, plan),
+            FabricKind::ZonalSpineLeaf {
+                zones,
+                leaves_per_zone,
+                spines,
+                oversubscription,
+            } => Self::build_zonal(
+                cluster,
+                plan,
+                zones,
+                leaves_per_zone,
+                spines,
+                oversubscription,
+            ),
+        }
+    }
+
+    /// Access-link rate of a pod: pod override, then service override,
+    /// then plan default.
+    fn pod_rate(plan: &NetworkPlan, pod: &meshlayer_cluster::Pod) -> u64 {
+        let service = pod
+            .labels
+            .get("app")
+            .cloned()
+            .unwrap_or_else(|| pod.name.clone());
+        plan.pod_rate_bps
+            .get(&pod.name)
+            .copied()
+            .unwrap_or_else(|| plan.rate_for(&service))
+    }
+
+    /// The paper's testbed star: one virtual switch, one duplex access
+    /// link per pod.
+    fn build_star(cluster: &Cluster, plan: &NetworkPlan) -> Fabric {
         let mut topology = Topology::new();
         let switch = topology.add_node("switch");
         let mut pod_node = Vec::with_capacity(cluster.pod_count());
         let mut node_pod = HashMap::new();
         let mk =
             |plan: &NetworkPlan| -> Box<dyn Qdisc> { Box::new(DropTail::new(plan.queue_pkts)) };
+        let mut entries = vec![HierEntry {
+            lo: 0,
+            hi: cluster.pod_count() as u32 + 1,
+            up: Vec::new(),
+            children: Vec::new(),
+        }];
         for pod in cluster.pods() {
             let n = topology.add_node(pod.name.clone());
-            let service = pod
-                .labels
-                .get("app")
-                .cloned()
-                .unwrap_or_else(|| pod.name.clone());
-            let rate = plan
-                .pod_rate_bps
-                .get(&pod.name)
-                .copied()
-                .unwrap_or_else(|| plan.rate_for(&service));
+            let rate = Self::pod_rate(plan, pod);
             // Uplink (pod → switch): this is the pod's virtual NIC egress,
             // the attachment point for the paper's TC rules.
-            topology.add_link(n, switch, rate, plan.link_delay, mk(plan));
+            let up = topology.add_link(n, switch, rate, plan.link_delay, mk(plan));
             // Downlink (switch → pod).
-            topology.add_link(switch, n, rate, plan.link_delay, mk(plan));
+            let down = topology.add_link(switch, n, rate, plan.link_delay, mk(plan));
+            entries[0].children.push((n.0, n.0 + 1, down));
+            entries.push(HierEntry {
+                lo: n.0,
+                hi: n.0 + 1,
+                up: vec![up],
+                children: Vec::new(),
+            });
             pod_node.push(n);
             node_pod.insert(n, pod.id);
         }
-        topology.compute_routes();
+        let attach = vec![switch; pod_node.len()];
+        topology.install_hier(entries);
         Fabric {
             topology,
             pod_node,
             node_pod,
             switch,
+            attach,
+        }
+    }
+
+    /// A zonal spine-leaf fabric: pods are packed onto leaves in
+    /// contiguous `PodId` blocks (each leaf node is created immediately
+    /// before its pods, so every leaf subtree is a contiguous node-id
+    /// interval — the invariant hierarchical routing needs), and every
+    /// leaf uplinks to every spine.
+    fn build_zonal(
+        cluster: &Cluster,
+        plan: &NetworkPlan,
+        zones: usize,
+        leaves_per_zone: usize,
+        spines: usize,
+        oversubscription: f64,
+    ) -> Fabric {
+        let zones = zones.max(1);
+        let leaves_per_zone = leaves_per_zone.max(1);
+        let spines = spines.max(1);
+        let oversubscription = if oversubscription > 0.0 {
+            oversubscription
+        } else {
+            1.0
+        };
+        let n_leaves = zones * leaves_per_zone;
+        let n_pods = cluster.pod_count();
+        let hosts_per_leaf = n_pods.div_ceil(n_leaves).max(1);
+        let mut topology = Topology::new();
+        let mk =
+            |plan: &NetworkPlan| -> Box<dyn Qdisc> { Box::new(DropTail::new(plan.queue_pkts)) };
+        let mut pod_node = Vec::with_capacity(n_pods);
+        let mut node_pod = HashMap::new();
+        let pods: Vec<&meshlayer_cluster::Pod> = cluster.pods().collect();
+        // Leaves and their hosts first, keeping subtree ids contiguous.
+        let mut leaf_nodes = Vec::with_capacity(n_leaves);
+        let mut entries: Vec<HierEntry> = Vec::new();
+        for leaf_i in 0..n_leaves {
+            let zone = leaf_i / leaves_per_zone;
+            let leaf = topology.add_node(format!("z{zone}-leaf{leaf_i}"));
+            let mut leaf_entry = HierEntry {
+                lo: leaf.0,
+                hi: leaf.0 + 1,
+                up: Vec::new(),
+                children: Vec::new(),
+            };
+            entries.push(HierEntry::default());
+            let first = leaf_i * hosts_per_leaf;
+            let last = ((leaf_i + 1) * hosts_per_leaf).min(n_pods);
+            for &pod in pods.iter().take(last).skip(first.min(last)) {
+                let n = topology.add_node(pod.name.clone());
+                let rate = Self::pod_rate(plan, pod);
+                let up = topology.add_link(n, leaf, rate, plan.link_delay, mk(plan));
+                let down = topology.add_link(leaf, n, rate, plan.link_delay, mk(plan));
+                leaf_entry.children.push((n.0, n.0 + 1, down));
+                entries.push(HierEntry {
+                    lo: n.0,
+                    hi: n.0 + 1,
+                    up: vec![up],
+                    children: Vec::new(),
+                });
+                pod_node.push(n);
+                node_pod.insert(n, pod.id);
+            }
+            leaf_entry.hi = topology.node_count() as u32;
+            let slot = leaf.0 as usize;
+            entries[slot] = leaf_entry;
+            leaf_nodes.push(leaf);
+        }
+        // Spines last, cross-connected to every leaf. The spine-facing
+        // rate models the leaf's aggregate host bandwidth divided by
+        // spine count and the configured oversubscription ratio.
+        let spine_rate = ((hosts_per_leaf as f64 * plan.default_rate_bps as f64)
+            / (spines as f64 * oversubscription))
+            .max(1_000_000_000.0) as u64;
+        let host_span = topology.node_count() as u32;
+        let spine_nodes: Vec<NodeId> = (0..spines)
+            .map(|s| topology.add_node(format!("spine{s}")))
+            .collect();
+        for _ in &spine_nodes {
+            entries.push(HierEntry {
+                lo: 0,
+                hi: host_span,
+                up: Vec::new(),
+                children: Vec::new(),
+            });
+        }
+        for &leaf in &leaf_nodes {
+            let (lo, hi) = (entries[leaf.0 as usize].lo, entries[leaf.0 as usize].hi);
+            for &spine in &spine_nodes {
+                let up = topology.add_link(leaf, spine, spine_rate, plan.link_delay, mk(plan));
+                let down = topology.add_link(spine, leaf, spine_rate, plan.link_delay, mk(plan));
+                entries[leaf.0 as usize].up.push(up);
+                entries[spine.0 as usize].children.push((lo, hi, down));
+            }
+        }
+        let attach: Vec<NodeId> = pod_node
+            .iter()
+            .enumerate()
+            .map(|(i, _)| leaf_nodes[(i / hosts_per_leaf).min(n_leaves - 1)])
+            .collect();
+        topology.install_hier(entries);
+        Fabric {
+            topology,
+            pod_node,
+            node_pod,
+            switch: spine_nodes[0],
+            attach,
         }
     }
 
@@ -119,24 +308,30 @@ impl Fabric {
         self.pod_node[pod.0 as usize]
     }
 
-    /// The pod living at a topology node (None for the switch).
+    /// The pod living at a topology node (None for switches).
     pub fn pod_at(&self, node: NodeId) -> Option<PodId> {
         self.node_pod.get(&node).copied()
     }
 
-    /// The uplink (pod → switch) of a pod — its virtual NIC egress.
+    /// The access switch (star switch or leaf) a pod attaches to.
+    pub fn attach_of(&self, pod: PodId) -> NodeId {
+        self.attach[pod.0 as usize]
+    }
+
+    /// The uplink (pod → access switch) of a pod — its virtual NIC
+    /// egress.
     pub fn uplink(&self, pod: PodId) -> meshlayer_netsim::LinkId {
         let n = self.node_of(pod);
         self.topology
-            .link_between(n, self.switch)
+            .link_between(n, self.attach_of(pod))
             .expect("every pod has an uplink")
     }
 
-    /// The downlink (switch → pod) of a pod.
+    /// The downlink (access switch → pod) of a pod.
     pub fn downlink(&self, pod: PodId) -> meshlayer_netsim::LinkId {
         let n = self.node_of(pod);
         self.topology
-            .link_between(self.switch, n)
+            .link_between(self.attach_of(pod), n)
             .expect("every pod has a downlink")
     }
 }
@@ -223,5 +418,111 @@ mod tests {
         let plan = NetworkPlan::default().with_service_rate("x", 5);
         assert_eq!(plan.rate_for("x"), 5);
         assert_eq!(plan.rate_for("y"), 15_000_000_000);
+    }
+
+    #[test]
+    fn star_installs_hier_routing() {
+        let c = cluster();
+        let f = Fabric::build(&c, &NetworkPlan::default());
+        assert!(f.topology.has_hier());
+    }
+
+    fn zonal_plan() -> NetworkPlan {
+        NetworkPlan::default().with_fabric(FabricKind::ZonalSpineLeaf {
+            zones: 2,
+            leaves_per_zone: 1,
+            spines: 2,
+            oversubscription: 2.0,
+        })
+    }
+
+    #[test]
+    fn zonal_all_pod_pairs_reachable() {
+        let c = cluster(); // 4 pods over 2 leaves
+        let mut f = Fabric::build(&c, &zonal_plan());
+        assert!(f.topology.has_hier());
+        let pods: Vec<PodId> = c.pods().map(|p| p.id).collect();
+        for &a in &pods {
+            for &b in &pods {
+                if a != b {
+                    let r = f.topology.path(f.node_of(a), f.node_of(b));
+                    // Same leaf: 2 hops; cross-leaf: 4 (via a spine).
+                    assert!(r.hops() == 2 || r.hops() == 4, "{a:?}->{b:?}: {r:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zonal_access_links_attach_to_leaves() {
+        let c = cluster();
+        let f = Fabric::build(&c, &zonal_plan());
+        for pod in c.pods() {
+            let leaf = f.attach_of(pod.id);
+            assert!(f.topology.node_name(leaf).contains("leaf"));
+            assert_eq!(f.topology.link(f.uplink(pod.id)).to(), leaf);
+            assert_eq!(f.topology.link(f.downlink(pod.id)).from(), leaf);
+        }
+        // The representative non-pod node is a spine.
+        assert_eq!(f.pod_at(f.switch), None);
+        assert!(f.topology.node_name(f.switch).starts_with("spine"));
+    }
+
+    #[test]
+    fn zonal_spine_rate_honors_oversubscription() {
+        let c = cluster(); // 4 pods, 2 leaves -> 2 hosts/leaf
+        let f = Fabric::build(&c, &zonal_plan());
+        let spine_link = f
+            .topology
+            .links()
+            .find(|l| f.topology.node_name(l.to()).starts_with("spine"))
+            .expect("leaf->spine link exists");
+        // 2 hosts * 15 Gbps / (2 spines * 2.0 oversub) = 7.5 Gbps.
+        assert_eq!(spine_link.rate_bps(), 7_500_000_000);
+    }
+
+    #[test]
+    fn fabric_kind_serde_round_trip() {
+        let plan = zonal_plan();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: NetworkPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fabric, plan.fabric);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Any zonal fabric shape over any pod count stays fully
+        /// connected under hierarchical routing: every pod pair has a
+        /// loop-free path (`Topology::path` panics on unreachability or
+        /// a routing loop).
+        #[test]
+        fn zonal_fabric_always_connected(
+            zones in 1usize..4,
+            leaves_per_zone in 1usize..4,
+            spines in 1usize..4,
+            oversubscription in 0.5f64..4.0,
+            pods in 1u32..40,
+        ) {
+            let mut c = Cluster::new(&["h0", "h1", "h2", "h3"], 16);
+            c.deploy(ServiceSpec::new("svc", pods, ServiceBehavior::respond(100.0)));
+            let plan = NetworkPlan::default().with_fabric(FabricKind::ZonalSpineLeaf {
+                zones,
+                leaves_per_zone,
+                spines,
+                oversubscription,
+            });
+            let mut f = Fabric::build(&c, &plan);
+            proptest::prop_assert!(f.topology.has_hier());
+            let pod_ids: Vec<PodId> = c.pods().map(|p| p.id).collect();
+            for &a in &pod_ids {
+                for &b in &pod_ids {
+                    if a != b {
+                        let r = f.topology.path(f.node_of(a), f.node_of(b));
+                        proptest::prop_assert!(r.hops() >= 2);
+                    }
+                }
+            }
+        }
     }
 }

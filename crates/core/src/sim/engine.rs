@@ -1,6 +1,7 @@
 //! The event loop and the network/transport plumbing.
 
 use super::{Ev, MsgInFlight, Simulation};
+use meshlayer_cluster::PodId;
 use meshlayer_netsim::{LinkId, LinkOutcome, NodeId, Packet};
 use meshlayer_simcore::SimTime;
 use meshlayer_transport::ConnOutput;
@@ -138,6 +139,10 @@ impl Simulation {
         let elapsed_ns = now.saturating_since(self.scrape.last_at).as_nanos().max(1);
 
         // Links: utilization over the interval from the busy-time delta.
+        let n_links = self.fabric.topology.link_count();
+        if self.scrape.links.len() < n_links {
+            self.scrape.links.resize(n_links, (0, 0));
+        }
         let link_samples: Vec<(meshlayer_netsim::LinkId, String, f64, usize, u64)> = self
             .fabric
             .topology
@@ -148,11 +153,10 @@ impl Simulation {
                     self.fabric.topology.node_name(l.from()),
                     self.fabric.topology.node_name(l.to())
                 );
-                let (prev_busy, prev_drops) =
-                    self.scrape.links.get(&l.id()).copied().unwrap_or((0, 0));
+                let (prev_busy, prev_drops) = self.scrape.links[l.id().0 as usize];
                 let busy = l.stats().busy_ns;
                 let drops = l.drops();
-                self.scrape.links.insert(l.id(), (busy, drops));
+                self.scrape.links[l.id().0 as usize] = (busy, drops);
                 let util =
                     (busy.saturating_sub(prev_busy) as f64 / elapsed_ns as f64).clamp(0.0, 1.0);
                 // A policy apply that swaps the qdisc resets the drop
@@ -186,25 +190,33 @@ impl Simulation {
                 .scrape_gauge(GaugeKind::PodComputeQueue, &name, now, depth as f64);
         }
 
-        // Sidecars: counter deltas since the previous scrape.
-        let mut pods: Vec<_> = self.sidecars.keys().copied().collect();
-        pods.sort();
-        for pod in pods {
+        // Sidecars: counter deltas since the previous scrape, in
+        // ascending pod order (the dense table's natural order).
+        let n_pods = self.sidecars.len();
+        self.scrape.sidecars.ensure(n_pods);
+        for i in 0..n_pods {
+            let pod = PodId(i as u32);
             let (name, stats) = {
-                let sc = &self.sidecars[&pod];
+                let sc = self.sidecars.get(pod).expect("sidecar exists");
                 (sc.name().to_string(), sc.stats().clone())
             };
-            let prev = self.scrape.sidecars.entry(pod).or_default();
+            let prev = &mut self.scrape.sidecars;
             let samples = [
                 (
                     GaugeKind::SidecarRequests,
-                    stats.outbound_requests - prev.outbound_requests,
+                    stats.outbound_requests - prev.outbound_requests[i],
                 ),
-                (GaugeKind::SidecarRetries, stats.retries - prev.retries),
-                (GaugeKind::SidecarFailFast, stats.fail_fast - prev.fail_fast),
-                (GaugeKind::Sidecar5xx, stats.resp_5xx - prev.resp_5xx),
+                (GaugeKind::SidecarRetries, stats.retries - prev.retries[i]),
+                (
+                    GaugeKind::SidecarFailFast,
+                    stats.fail_fast - prev.fail_fast[i],
+                ),
+                (GaugeKind::Sidecar5xx, stats.resp_5xx - prev.resp_5xx[i]),
             ];
-            *prev = stats;
+            prev.outbound_requests[i] = stats.outbound_requests;
+            prev.retries[i] = stats.retries;
+            prev.fail_fast[i] = stats.fail_fast;
+            prev.resp_5xx[i] = stats.resp_5xx;
             for (kind, delta) in samples {
                 self.telemetry.scrape_gauge(kind, &name, now, delta as f64);
             }
@@ -278,11 +290,10 @@ impl Simulation {
     /// Fig 1's housekeeping loop: sidecars report telemetry to the control
     /// plane; the CA rotates certificates nearing expiry.
     fn on_control_tick(&mut self, now: SimTime) {
-        let mut pods: Vec<_> = self.sidecars.keys().copied().collect();
-        pods.sort();
-        for pod in pods {
+        for i in 0..self.sidecars.len() {
+            let pod = PodId(i as u32);
             let (name, stats) = {
-                let sc = &self.sidecars[&pod];
+                let sc = self.sidecars.get(pod).expect("sidecar exists");
                 (sc.name().to_string(), sc.stats().clone())
             };
             self.control.report_telemetry(&name, stats);
@@ -354,7 +365,7 @@ impl Simulation {
             return;
         };
         let conn_id = pkt.conn;
-        let Some(pair) = self.conns.get_mut(&conn_id) else {
+        let Some(pair) = self.conns.get_mut(conn_id) else {
             self.stats.pkt_drops += 1;
             return;
         };
@@ -369,7 +380,7 @@ impl Simulation {
     // -----------------------------------------------------------------
 
     fn on_conn_timer(&mut self, conn: u64, dir: u8, gen: u64, now: SimTime) {
-        let Some(pair) = self.conns.get_mut(&conn) else {
+        let Some(pair) = self.conns.get_mut(conn) else {
             return;
         };
         let endpoint = if dir == 0 { &mut pair.a } else { &mut pair.b };
@@ -378,7 +389,7 @@ impl Simulation {
     }
 
     fn on_send_msg(&mut self, conn: u64, dir: u8, msg: u64, bytes: u64, now: SimTime) {
-        let Some(pair) = self.conns.get_mut(&conn) else {
+        let Some(pair) = self.conns.get_mut(conn) else {
             return;
         };
         let endpoint = if dir == 0 { &mut pair.a } else { &mut pair.b };
@@ -397,7 +408,7 @@ impl Simulation {
     ) {
         // Packets leave from the endpoint's node.
         let src_node = {
-            let pair = self.conns.get(&conn).expect("conn exists");
+            let pair = self.conns.get(conn).expect("conn exists");
             if dir == 0 {
                 self.fabric.node_of(pair.a_pod)
             } else {
@@ -408,7 +419,7 @@ impl Simulation {
             self.route_packet(pkt, src_node, now);
         }
         if let Some((at, gen)) = out.timer {
-            let pair = self.conns.get_mut(&conn).expect("conn exists");
+            let pair = self.conns.get_mut(conn).expect("conn exists");
             if gen > pair.scheduled_gen[dir as usize] {
                 pair.scheduled_gen[dir as usize] = gen;
                 self.push_ev(at, Ev::ConnTimer { conn, dir, gen });
@@ -422,14 +433,14 @@ impl Simulation {
     /// A whole message finished arriving at endpoint `(conn, dir)`.
     fn on_msg_delivered(&mut self, conn: u64, dir: u8, msg: u64, now: SimTime) {
         let (receiver_pod, sender_pod) = {
-            let pair = self.conns.get(&conn).expect("conn exists");
+            let pair = self.conns.get(conn).expect("conn exists");
             if dir == 0 {
                 (pair.a_pod, pair.b_pod)
             } else {
                 (pair.b_pod, pair.a_pod)
             }
         };
-        match self.msg_store.remove(&msg) {
+        match self.msg_store.remove(msg) {
             Some(MsgInFlight::Request { req, rpc, attempt }) => {
                 self.on_request_delivered(req, rpc, attempt, receiver_pod, conn, dir, now);
             }
@@ -442,10 +453,7 @@ impl Simulation {
             }) => {
                 // Client-side sidecar overhead before the caller sees it.
                 let overhead = {
-                    let sc = self
-                        .sidecars
-                        .get_mut(&receiver_pod)
-                        .expect("sidecar exists");
+                    let sc = self.sidecars.get_mut(receiver_pod).expect("sidecar exists");
                     sc.overhead()
                 };
                 let at = now + overhead + self.spec.config.app_sidecar_delay;

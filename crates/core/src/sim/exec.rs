@@ -27,7 +27,7 @@ impl Simulation {
         // Provenance: the request's wire crossing ends here. The sender
         // is the other end of the delivering connection pair.
         let sender_pod = {
-            let pair = self.conns.get(&conn).expect("conn exists");
+            let pair = self.conns.get(conn).expect("conn exists");
             if dir == 0 {
                 pair.b_pod
             } else {
@@ -36,7 +36,7 @@ impl Simulation {
         };
         self.prov_request_wire(rpc, attempt, sender_pod, pod, req.wire_size(), now);
         let (ctx, overhead) = {
-            let sc = self.sidecars.get_mut(&pod).expect("server sidecar");
+            let sc = self.sidecars.get_mut(pod).expect("server sidecar");
             let ctx = sc.on_inbound(&mut req, now);
             (ctx, sc.overhead())
         };
@@ -92,7 +92,7 @@ impl Simulation {
 
     /// Begin interpreting the behaviour tree.
     pub(crate) fn on_exec_start(&mut self, exec_id: u64, now: SimTime) {
-        let Some(e) = self.execs.get(&exec_id) else {
+        let Some(e) = self.execs.get(exec_id) else {
             return;
         };
         // Chaos plane: a crashed pod refuses the request outright —
@@ -100,7 +100,7 @@ impl Simulation {
         // compute. Discovery still advertises the pod, so the caller's
         // outlier detector has to notice the 5xx stream and eject it.
         if !self.cluster.pod(e.pod).up {
-            if let Some(e) = self.execs.get_mut(&exec_id) {
+            if let Some(e) = self.execs.get_mut(exec_id) {
                 e.failed = Some(StatusCode::UNAVAILABLE);
             }
             self.finish_exec(exec_id, now);
@@ -111,7 +111,7 @@ impl Simulation {
         if failure_rate > 0.0 {
             let mut rng = self.rng.split_idx("fault", exec_id);
             if rng.chance(failure_rate) {
-                if let Some(e) = self.execs.get_mut(&exec_id) {
+                if let Some(e) = self.execs.get_mut(exec_id) {
                     e.failed = Some(StatusCode::INTERNAL);
                 }
                 self.finish_exec(exec_id, now);
@@ -130,7 +130,7 @@ impl Simulation {
 
     /// Launch one step of the tree; completion flows to `parent` token.
     pub(crate) fn start_step(&mut self, exec_id: u64, step: CallStep, parent: u64, now: SimTime) {
-        if !self.execs.contains_key(&exec_id) {
+        if !self.execs.contains(exec_id) {
             return;
         }
         match step {
@@ -138,7 +138,7 @@ impl Simulation {
             CallStep::Compute(dist) => {
                 let token = self.alloc_token();
                 let (pod, high) = {
-                    let e = self.execs.get(&exec_id).expect("exec exists");
+                    let e = self.execs.get(exec_id).expect("exec exists");
                     (
                         e.pod,
                         e.ctx.priority.as_deref() == Some(Priority::High.header_value()),
@@ -159,8 +159,8 @@ impl Simulation {
                     Admission::Queued => {}
                     Admission::Rejected => {
                         self.stats.compute_rejections += 1;
-                        self.compute_jobs.remove(&token);
-                        if let Some(e) = self.execs.get_mut(&exec_id) {
+                        self.compute_jobs.remove(token);
+                        if let Some(e) = self.execs.get_mut(exec_id) {
                             e.failed = Some(StatusCode::UNAVAILABLE);
                         }
                         self.complete_token(exec_id, parent, now, Breakdown::ZERO);
@@ -173,7 +173,7 @@ impl Simulation {
                 req_bytes,
             } => {
                 let (request_id, pod) = {
-                    let e = self.execs.get(&exec_id).expect("exec exists");
+                    let e = self.execs.get(exec_id).expect("exec exists");
                     (
                         e.req
                             .headers
@@ -213,7 +213,7 @@ impl Simulation {
                 }
                 let token = self.alloc_token();
                 let first = steps.remove(0);
-                let e = self.execs.get_mut(&exec_id).expect("exec exists");
+                let e = self.execs.get_mut(exec_id).expect("exec exists");
                 e.conts.insert(
                     token,
                     Cont::Seq {
@@ -230,7 +230,7 @@ impl Simulation {
                     return;
                 }
                 let token = self.alloc_token();
-                let e = self.execs.get_mut(&exec_id).expect("exec exists");
+                let e = self.execs.get_mut(exec_id).expect("exec exists");
                 e.conts.insert(
                     token,
                     Cont::Par {
@@ -254,18 +254,18 @@ impl Simulation {
     /// whole window by itself and *replaces* its siblings' breakdowns.
     /// Either way the resulting sum equals the node's elapsed sim time.
     pub(crate) fn complete_token(&mut self, exec_id: u64, token: u64, now: SimTime, bd: Breakdown) {
-        if !self.execs.contains_key(&exec_id) {
+        if !self.execs.contains(exec_id) {
             return;
         }
         if token == ROOT_TOKEN {
-            if let Some(e) = self.execs.get_mut(&exec_id) {
+            if let Some(e) = self.execs.get_mut(exec_id) {
                 e.bd.add(&bd);
             }
             self.finish_exec(exec_id, now);
             return;
         }
         let cont = {
-            let e = self.execs.get_mut(&exec_id).expect("exec exists");
+            let e = self.execs.get_mut(exec_id).expect("exec exists");
             e.conts.remove(&token)
         };
         match cont {
@@ -277,7 +277,7 @@ impl Simulation {
                 acc.add(&bd);
                 match rest.pop_front() {
                     Some(next) => {
-                        let e = self.execs.get_mut(&exec_id).expect("exec exists");
+                        let e = self.execs.get_mut(exec_id).expect("exec exists");
                         e.conts.insert(token, Cont::Seq { rest, parent, acc });
                         self.start_step(exec_id, next, token, now);
                     }
@@ -288,7 +288,7 @@ impl Simulation {
                 if remaining <= 1 {
                     self.complete_token(exec_id, parent, now, bd);
                 } else {
-                    let e = self.execs.get_mut(&exec_id).expect("exec exists");
+                    let e = self.execs.get_mut(exec_id).expect("exec exists");
                     e.conts.insert(
                         token,
                         Cont::Par {
@@ -311,7 +311,7 @@ impl Simulation {
     /// Sample a just-started job's service time and schedule completion.
     fn schedule_compute(&mut self, pod: PodId, token: u64, now: SimTime) {
         let dist = {
-            let job = self.compute_jobs.get_mut(&token).expect("job exists");
+            let job = self.compute_jobs.get_mut(token).expect("job exists");
             job.run_started = now;
             job.dist.clone()
         };
@@ -323,7 +323,7 @@ impl Simulation {
     }
 
     pub(crate) fn on_compute_done(&mut self, pod: PodId, token: u64, now: SimTime) {
-        if let Some(job) = self.compute_jobs.remove(&token) {
+        if let Some(job) = self.compute_jobs.remove(token) {
             let mut bd = Breakdown::ZERO;
             bd.add_ns(
                 Layer::ComputeQueue,
@@ -345,7 +345,7 @@ impl Simulation {
     /// The behaviour tree finished (or failed): emit the response back
     /// over the connection the request arrived on.
     pub(crate) fn finish_exec(&mut self, exec_id: u64, now: SimTime) {
-        let Some(e) = self.execs.remove(&exec_id) else {
+        let Some(e) = self.execs.remove(exec_id) else {
             return;
         };
         let status = e.failed.unwrap_or(StatusCode::OK);
@@ -357,7 +357,7 @@ impl Simulation {
             .to_string();
         // Server span + provenance cleanup.
         let overhead = {
-            let sc = self.sidecars.get_mut(&e.pod).expect("server sidecar");
+            let sc = self.sidecars.get_mut(e.pod).expect("server sidecar");
             if e.ctx.sampled {
                 let span = sc.server_span(&e.ctx, e.ctx.parent, e.started, now, status);
                 self.tracer.record(span);

@@ -171,7 +171,7 @@ impl Simulation {
         for id in link_ids {
             self.fabric.topology.link_mut(id).set_tap(tap.clone());
         }
-        for sc in self.sidecars.values_mut() {
+        for sc in self.sidecars.iter_mut() {
             sc.set_decision_sink(recorder.clone());
         }
         self.flight = Some(FlightState {

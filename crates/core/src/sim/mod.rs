@@ -25,6 +25,7 @@ mod par;
 mod policy_rt;
 mod prov;
 mod rpc;
+mod store;
 
 pub use flight::FlightOutcome;
 
@@ -34,7 +35,6 @@ use crate::provenance::{Classifier, Priority};
 use crate::xlayer::{self, XLayerConfig};
 use meshlayer_cluster::{Cluster, PodId, ServiceSpec};
 use meshlayer_http::{Request, Response, RouteRule, RouteTable, StatusCode};
-use meshlayer_mesh::SidecarStats;
 use meshlayer_mesh::{ControlPlane, InboundCtx, MeshConfig, Sidecar, SpanId, TraceId, Tracer};
 use meshlayer_netsim::{LinkId, NodeId, Packet};
 use meshlayer_simcore::FxHashMap;
@@ -257,15 +257,18 @@ impl Ev {
 }
 
 /// Per-entity snapshots from the previous telemetry scrape, so cumulative
-/// counters can be reported as per-interval deltas.
+/// counters can be reported as per-interval deltas. Both tables are
+/// dense (links by `LinkId.0`, sidecar counters SoA by `PodId.0`) — at
+/// generated-fabric scale a scrape touches every entity anyway.
 #[derive(Default)]
 pub(crate) struct ScrapeState {
     /// When the previous scrape ran.
     pub last_at: SimTime,
-    /// Per link: (busy_ns, drops) at the previous scrape.
-    pub links: FxHashMap<LinkId, (u64, u64)>,
-    /// Per sidecar: counter snapshot at the previous scrape.
-    pub sidecars: FxHashMap<PodId, SidecarStats>,
+    /// Per link (indexed by `LinkId.0`): (busy_ns, drops) at the
+    /// previous scrape.
+    pub links: Vec<(u64, u64)>,
+    /// Per sidecar: counter lanes at the previous scrape.
+    pub sidecars: store::ScrapeSidecars,
 }
 
 // ---------------------------------------------------------------------------
@@ -460,16 +463,15 @@ pub struct Simulation {
     pub(crate) cluster: Cluster,
     pub(crate) fabric: Fabric,
     pub(crate) control: ControlPlane,
-    pub(crate) sidecars: FxHashMap<PodId, Sidecar>,
+    pub(crate) sidecars: store::Sidecars,
     pub(crate) ingress_pod: PodId,
     pub(crate) queue: EventQueue<Ev>,
-    pub(crate) conn_ids: FxHashMap<(PodId, PodId, u8, usize), u64>,
-    pub(crate) pool_cursor: FxHashMap<(PodId, PodId, u8), usize>,
-    pub(crate) conns: FxHashMap<u64, ConnPair>,
-    pub(crate) msg_store: FxHashMap<u64, MsgInFlight>,
-    pub(crate) rpcs: FxHashMap<u64, Rpc>,
-    pub(crate) execs: FxHashMap<u64, Exec>,
-    pub(crate) compute_jobs: FxHashMap<u64, ComputeJob>,
+    pub(crate) pair_pools: store::PairPools,
+    pub(crate) conns: store::ConnTable<ConnPair>,
+    pub(crate) msg_store: store::IdSlab<MsgInFlight>,
+    pub(crate) rpcs: store::IdSlab<Rpc>,
+    pub(crate) execs: store::IdSlab<Exec>,
+    pub(crate) compute_jobs: store::IdSlab<ComputeJob>,
     pub(crate) gens: Vec<OpenLoopGen>,
     pub(crate) sdn: crate::sdn::SdnController,
     pub(crate) recorder: Recorder,
@@ -501,7 +503,6 @@ pub struct Simulation {
     pub(crate) flight_outcome: Option<FlightOutcome>,
     /// Wall-clock nanoseconds the last `run()` spent in the event loop.
     pub(crate) wall_ns: u64,
-    next_conn: u64,
     next_msg: u64,
     next_rpc: u64,
     next_exec: u64,
@@ -556,7 +557,7 @@ impl Simulation {
         }
 
         let mut control = ControlPlane::new(mesh.clone());
-        let mut sidecars = FxHashMap::default();
+        let mut sidecars = store::Sidecars::default();
         let pod_list: Vec<(PodId, String, String)> = cluster
             .pods()
             .map(|p| {
@@ -571,7 +572,7 @@ impl Simulation {
             // Each sidecar draws from its LP's stream — a pure function
             // of (seed, pod), never of thread/shard count.
             let sc_rng = rng.lp_stream(pid.0 as u64);
-            sidecars.insert(
+            sidecars.push(
                 pid,
                 Sidecar::new(name, service.clone(), mesh.clone(), sc_rng),
             );
@@ -638,13 +639,12 @@ impl Simulation {
             sidecars,
             ingress_pod,
             queue: EventQueue::new(),
-            conn_ids: FxHashMap::default(),
-            pool_cursor: FxHashMap::default(),
-            conns: FxHashMap::default(),
-            msg_store: FxHashMap::default(),
-            rpcs: FxHashMap::default(),
-            execs: FxHashMap::default(),
-            compute_jobs: FxHashMap::default(),
+            pair_pools: store::PairPools::default(),
+            conns: store::ConnTable::default(),
+            msg_store: store::IdSlab::default(),
+            rpcs: store::IdSlab::default(),
+            execs: store::IdSlab::default(),
+            compute_jobs: store::IdSlab::default(),
             gens,
             sdn: crate::sdn::SdnController::new(0.7),
             recorder,
@@ -663,7 +663,6 @@ impl Simulation {
             flight: None,
             flight_outcome: None,
             wall_ns: 0,
-            next_conn: 1,
             next_msg: 1,
             next_rpc: 1,
             next_exec: 1,
@@ -826,43 +825,32 @@ impl Simulation {
         let (a, b) = if x.0 <= y.0 { (x, y) } else { (y, x) };
         // Rotate across the connection pool for this pair+class.
         let pool = self.spec.config.conns_per_pair.max(1);
-        let cursor = self.pool_cursor.entry((a, b, class)).or_insert(0);
-        let slot = *cursor % pool;
-        *cursor += 1;
-        let key = (a, b, class, slot);
-        let id = match self.conn_ids.get(&key) {
-            Some(&id) => id,
-            None => {
-                let id = self.next_conn;
-                self.next_conn += 1;
-                self.conn_ids.insert(key, id);
-                let mk_cfg = |src: PodId, dst: PodId, cluster: &Cluster| ConnConfig {
-                    dscp,
-                    cc,
-                    mux: self.spec.config.mux,
-                    src_ip: cluster.pod(src).ip,
-                    dst_ip: cluster.pod(dst).ip,
-                    ..ConnConfig::default()
-                };
-                let cfg_a = mk_cfg(a, b, &self.cluster);
-                let cfg_b = mk_cfg(b, a, &self.cluster);
-                let conn_a =
-                    Conn::new(id, 0, self.fabric.node_of(a), self.fabric.node_of(b), cfg_a);
-                let conn_b =
-                    Conn::new(id, 1, self.fabric.node_of(b), self.fabric.node_of(a), cfg_b);
-                self.conns.insert(
-                    id,
-                    ConnPair {
-                        a_pod: a,
-                        b_pod: b,
-                        a: conn_a,
-                        b: conn_b,
-                        class,
-                        scheduled_gen: [0, 0],
-                    },
-                );
-                id
-            }
+        let (slot, existing) = self.pair_pools.rotate(a, b, class, pool);
+        let id = if existing != 0 {
+            existing
+        } else {
+            let id = self.conns.next_id();
+            self.pair_pools.assign(a, b, class, slot, id);
+            let mk_cfg = |src: PodId, dst: PodId, cluster: &Cluster| ConnConfig {
+                dscp,
+                cc,
+                mux: self.spec.config.mux,
+                src_ip: cluster.pod(src).ip,
+                dst_ip: cluster.pod(dst).ip,
+                ..ConnConfig::default()
+            };
+            let cfg_a = mk_cfg(a, b, &self.cluster);
+            let cfg_b = mk_cfg(b, a, &self.cluster);
+            let conn_a = Conn::new(id, 0, self.fabric.node_of(a), self.fabric.node_of(b), cfg_a);
+            let conn_b = Conn::new(id, 1, self.fabric.node_of(b), self.fabric.node_of(a), cfg_b);
+            self.conns.push(ConnPair {
+                a_pod: a,
+                b_pod: b,
+                a: conn_a,
+                b: conn_b,
+                class,
+                scheduled_gen: [0, 0],
+            })
         };
         let dir = if x == a { 0 } else { 1 };
         (id, dir)

@@ -117,6 +117,23 @@ impl ShardPlan {
         if lookahead == SimDuration::from_nanos(0) {
             return None;
         }
+        // Below ~10 µs the conservative windows get so narrow that
+        // barrier overhead swamps any parallel win (DESIGN.md §13); the
+        // run stays correct, so warn rather than refuse.
+        if lookahead < SimDuration::from_micros(10) {
+            if let Some(l) = topo.links().find(|l| {
+                l.delay() == lookahead
+                    && lp_of_node[l.from().0 as usize] != lp_of_node[l.to().0 as usize]
+            }) {
+                eprintln!(
+                    "par: WARN: lookahead {} ns is below the 10 µs floor — link {} -> {} has the \
+                     smallest cross-shard delay; expect barrier overhead to dominate",
+                    lookahead.as_nanos(),
+                    topo.node_name(l.from()),
+                    topo.node_name(l.to()),
+                );
+            }
+        }
         let control_lp = nodes;
         let ingress_lp = lp_of_node[sim.fabric.node_of(sim.ingress_pod).0 as usize];
         Some(ShardPlan {
@@ -275,7 +292,7 @@ impl Simulation {
             Ev::Arrival { .. } => plan.ingress_lp,
             Ev::LinkTx { link } | Ev::LinkKick { link } => plan.lp_of_link[link.0 as usize],
             Ev::PktArrive { node, .. } => plan.lp_of_node[node.0 as usize],
-            Ev::ConnTimer { conn, .. } | Ev::SendMsg { conn, .. } => match self.conns.get(conn) {
+            Ev::ConnTimer { conn, .. } | Ev::SendMsg { conn, .. } => match self.conns.get(*conn) {
                 Some(pair) => {
                     let pod = if matches!(&ev, Ev::ConnTimer { dir, .. } | Ev::SendMsg { dir, .. } if *dir == 0)
                     {
@@ -287,7 +304,7 @@ impl Simulation {
                 }
                 None => plan.control_lp,
             },
-            Ev::ExecStart { exec } => match self.execs.get(exec) {
+            Ev::ExecStart { exec } => match self.execs.get(*exec) {
                 Some(e) => plan.lp_of_node[self.fabric.node_of(e.pod).0 as usize],
                 None => plan.control_lp,
             },
@@ -296,7 +313,7 @@ impl Simulation {
             | Ev::PerTryTimeout { rpc, .. }
             | Ev::RpcTimeout { rpc }
             | Ev::RetryFire { rpc }
-            | Ev::HedgeFire { rpc, .. } => match self.rpcs.get(rpc) {
+            | Ev::HedgeFire { rpc, .. } => match self.rpcs.get(*rpc) {
                 Some(r) => plan.lp_of_node[self.fabric.node_of(r.caller).0 as usize],
                 None => plan.control_lp,
             },

@@ -39,8 +39,7 @@ impl Simulation {
         }
         self.control.configure(|c| c.routes = routes);
 
-        let mut pods: Vec<PodId> = self.sidecars.keys().copied().collect();
-        pods.sort();
+        let pods: Vec<PodId> = self.sidecars.iter().map(|(pid, _)| pid).collect();
         self.policy
             .begin_push(version, pods.len() + PolicyLayer::GLOBAL.len());
 
@@ -80,12 +79,12 @@ impl Simulation {
         let (who, detail) = match layer {
             PolicyLayer::Mesh => {
                 let pid = PodId(pod);
-                let known = match self.sidecars.get(&pid) {
+                let known = match self.sidecars.get(pid) {
                     Some(sc) => sc.config_version(),
                     None => return,
                 };
                 let sync = self.control.sync(known);
-                let sc = self.sidecars.get_mut(&pid).expect("sidecar exists");
+                let sc = self.sidecars.get_mut(pid).expect("sidecar exists");
                 let mut ctx = PolicyCtx {
                     cluster: Some(&self.cluster),
                     now,
@@ -117,7 +116,7 @@ impl Simulation {
                 self.live.dscp_tagging = snap.xlayer.dscp_tagging;
                 let default_cc = self.spec.config.default_cc;
                 let mut reprofiled = 0usize;
-                for pair in self.conns.values_mut() {
+                for pair in self.conns.iter_mut() {
                     let prio = if pair.class == 0 {
                         Priority::High
                     } else {

@@ -29,7 +29,7 @@ impl Simulation {
         // The ingress sidecar mints x-request-id and records provenance.
         let ingress = self.ingress_pod;
         {
-            let sc = self.sidecars.get_mut(&ingress).expect("ingress sidecar");
+            let sc = self.sidecars.get_mut(ingress).expect("ingress sidecar");
             sc.on_inbound(&mut req, now);
         }
         let request_id = req
@@ -38,7 +38,7 @@ impl Simulation {
             .expect("minted by on_inbound")
             .to_string();
         if let Some(fr) = self.flight_rec() {
-            let sc = self.sidecars.get(&ingress).expect("ingress sidecar");
+            let sc = self.sidecars.get(ingress).expect("ingress sidecar");
             let trace = sc.inbound_ctx(&request_id).map(|c| c.trace.0).unwrap_or(0);
             fr.record_ingress(sc.name(), now, &request_id, trace);
         }
@@ -75,7 +75,7 @@ impl Simulation {
             let fabric = &self.fabric;
             let sdn = &self.sdn;
             let sdn_lb = self.live.sdn_lb;
-            let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+            let sc = self.sidecars.get_mut(caller).expect("caller sidecar");
             // §4.3 step 2: copy priority/trace onto the child request.
             let annotated = sc.annotate_outbound(&mut req, now);
             // If the caller's inbound request is sampled, this RPC gets a
@@ -133,7 +133,7 @@ impl Simulation {
             RouteOutcome::Forward { pod, cluster } => {
                 let pool_size = self.cluster.endpoints(&cluster, None).len();
                 let (timeout, hedge_after) = {
-                    let sc = self.sidecars.get(&caller).expect("caller sidecar");
+                    let sc = self.sidecars.get(caller).expect("caller sidecar");
                     (
                         sc.timeout(&cluster),
                         sc.config().policy(&cluster).hedge_after,
@@ -177,7 +177,7 @@ impl Simulation {
     /// caller-side sidecar overhead) and arm its per-try timer.
     fn launch_attempt(&mut self, rpc_id: u64, idx: u32, now: SimTime) {
         let (caller, dst, priority, wire, cluster) = {
-            let rpc = self.rpcs.get(&rpc_id).expect("rpc exists");
+            let rpc = self.rpcs.get(rpc_id).expect("rpc exists");
             (
                 rpc.caller,
                 rpc.attempts[idx as usize].pod,
@@ -187,12 +187,12 @@ impl Simulation {
             )
         };
         let (overhead, per_try) = {
-            let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+            let sc = self.sidecars.get_mut(caller).expect("caller sidecar");
             (sc.overhead(), sc.per_try_timeout(&cluster))
         };
         let (conn, dir) = self.conn_for(caller, dst, priority);
         let msg = self.alloc_msg();
-        let req = self.rpcs.get(&rpc_id).expect("rpc exists").req.clone();
+        let req = self.rpcs.get(rpc_id).expect("rpc exists").req.clone();
         if let Some(fr) = self.flight_rec() {
             let rid = req.headers.get(HDR_REQUEST_ID).unwrap_or_default();
             fr.record_msg_bind(now, msg, conn, rpc_id, idx, 0, rid);
@@ -239,7 +239,7 @@ impl Simulation {
         outcome: Result<StatusCode, AttemptFailure>,
         now: SimTime,
     ) -> bool {
-        let Some(rpc) = self.rpcs.get_mut(&rpc_id) else {
+        let Some(rpc) = self.rpcs.get_mut(rpc_id) else {
             return false;
         };
         if rpc.completed {
@@ -255,7 +255,7 @@ impl Simulation {
         let latency = now.saturating_since(att.sent);
         let (caller, cluster, pod, pool) =
             (rpc.caller, rpc.cluster.clone(), att.pod, rpc.pool_size);
-        let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+        let sc = self.sidecars.get_mut(caller).expect("caller sidecar");
         sc.on_upstream_response(&cluster, pod, outcome, latency, pool, now);
         true
     }
@@ -270,7 +270,7 @@ impl Simulation {
         now: SimTime,
     ) {
         let (live, caller, cluster, req, tries) = {
-            let rpc = self.rpcs.get(&rpc_id).expect("rpc exists");
+            let rpc = self.rpcs.get(rpc_id).expect("rpc exists");
             (
                 rpc.live_attempts(),
                 rpc.caller,
@@ -284,7 +284,7 @@ impl Simulation {
             return;
         }
         let backoff = {
-            let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+            let sc = self.sidecars.get_mut(caller).expect("caller sidecar");
             sc.should_retry(&cluster, &req, tries.saturating_sub(1), failure, now)
         };
         match backoff {
@@ -328,7 +328,7 @@ impl Simulation {
     }
 
     pub(crate) fn on_rpc_timeout(&mut self, rpc_id: u64, now: SimTime) {
-        let Some(rpc) = self.rpcs.get(&rpc_id) else {
+        let Some(rpc) = self.rpcs.get(rpc_id) else {
             return;
         };
         if rpc.completed {
@@ -349,7 +349,7 @@ impl Simulation {
     }
 
     pub(crate) fn on_retry_fire(&mut self, rpc_id: u64, now: SimTime) {
-        let Some(rpc) = self.rpcs.get(&rpc_id) else {
+        let Some(rpc) = self.rpcs.get(rpc_id) else {
             return;
         };
         if rpc.completed {
@@ -362,7 +362,7 @@ impl Simulation {
                 self.complete_rpc(rpc_id, status, now);
             }
             RouteOutcome::Forward { pod, .. } => {
-                let rpc = self.rpcs.get_mut(&rpc_id).expect("rpc exists");
+                let rpc = self.rpcs.get_mut(rpc_id).expect("rpc exists");
                 rpc.attempts.push(AttemptState {
                     pod,
                     sent: now,
@@ -385,7 +385,7 @@ impl Simulation {
         let fabric = &self.fabric;
         let sdn = &self.sdn;
         let sdn_lb = self.live.sdn_lb;
-        let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+        let sc = self.sidecars.get_mut(caller).expect("caller sidecar");
         sc.route_outbound(
             req,
             &|c, s| {
@@ -403,7 +403,7 @@ impl Simulation {
     /// The hedge delay elapsed: if the watched attempt is still pending
     /// and nothing newer has been launched, issue a redundant attempt.
     pub(crate) fn on_hedge_fire(&mut self, rpc_id: u64, attempt: u32, now: SimTime) {
-        let Some(rpc) = self.rpcs.get(&rpc_id) else {
+        let Some(rpc) = self.rpcs.get(rpc_id) else {
             return;
         };
         if rpc.completed
@@ -416,7 +416,7 @@ impl Simulation {
         let decision = self.route_again(caller, &req, now);
         if let RouteOutcome::Forward { pod, .. } = decision {
             self.stats.hedges += 1;
-            let rpc = self.rpcs.get_mut(&rpc_id).expect("rpc exists");
+            let rpc = self.rpcs.get_mut(rpc_id).expect("rpc exists");
             rpc.attempts.push(AttemptState {
                 pod,
                 sent: now,
@@ -450,7 +450,7 @@ impl Simulation {
         now: SimTime,
         attempt_bd: Option<Breakdown>,
     ) {
-        let rpc = self.rpcs.get_mut(&rpc_id).expect("rpc exists");
+        let rpc = self.rpcs.get_mut(rpc_id).expect("rpc exists");
         if rpc.completed {
             return;
         }
@@ -477,7 +477,7 @@ impl Simulation {
             .collect();
         if !live.is_empty() {
             let cluster = rpc.cluster.clone();
-            let sc = self.sidecars.get_mut(&caller).expect("caller sidecar");
+            let sc = self.sidecars.get_mut(caller).expect("caller sidecar");
             for (pod, _sent) in live {
                 sc.on_attempt_cancelled(&cluster, pod, now);
             }
@@ -486,9 +486,9 @@ impl Simulation {
         // belongs to a sampled trace, emit its client span — the link the
         // callee's server span parents onto.
         self.prov_drop_rpc(rpc_id, attempt_count);
-        let finished = self.rpcs.remove(&rpc_id);
+        let finished = self.rpcs.remove(rpc_id);
         if let Some(cs) = finished.and_then(|r| r.span) {
-            let sc = self.sidecars.get(&caller).expect("caller sidecar");
+            let sc = self.sidecars.get(caller).expect("caller sidecar");
             let span = sc.client_span(
                 (cs.trace, cs.parent, cs.id),
                 &cluster_name,
@@ -505,7 +505,7 @@ impl Simulation {
                 request_id,
             } => {
                 if let Some(fr) = self.flight_rec() {
-                    let sc = self.sidecars.get(&caller).expect("ingress sidecar");
+                    let sc = self.sidecars.get(caller).expect("ingress sidecar");
                     fr.record_root_done(
                         sc.name(),
                         now,
@@ -542,7 +542,7 @@ impl Simulation {
                     self.recorder.record_failure(&class, intended_at);
                     self.telemetry.observe_latency(&class, now, None);
                 }
-                let sc = self.sidecars.get_mut(&caller).expect("ingress sidecar");
+                let sc = self.sidecars.get_mut(caller).expect("ingress sidecar");
                 // The gateway's own span is the trace root.
                 if let Some(ctx) = sc.inbound_ctx(&request_id).cloned() {
                     if ctx.sampled {
@@ -554,7 +554,7 @@ impl Simulation {
             }
             CompletionKey::Exec { exec, token } => {
                 if !status.is_success() {
-                    if let Some(e) = self.execs.get_mut(&exec) {
+                    if let Some(e) = self.execs.get_mut(exec) {
                         e.failed = Some(status);
                     }
                 }

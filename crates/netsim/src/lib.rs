@@ -40,4 +40,4 @@ pub use packet::{ClassId, NodeId, Packet, PacketKind, DSCP_BATCH, DSCP_CONTROL, 
 pub use qdisc::{Codel, Deq, DropTail, Drr, HtbClass, HtbLite, Prio, Qdisc, Tbf, TokenBucket};
 pub use tap::{PacketTap, TapEvent, TapOp};
 pub use tc::{Filter, FilterMatch, TcTable};
-pub use topology::{LinkId, Route, Topology};
+pub use topology::{HierEntry, LinkId, Route, Topology};

@@ -39,6 +39,27 @@ impl Route {
     }
 }
 
+/// One node's entry in a hierarchical next-hop table.
+///
+/// Fabrics built as trees (star, multi-tier spine-leaf) assign every
+/// switch a *contiguous* node-id interval covering its subtree. Routing
+/// then needs no all-pairs table: a node forwards *down* the child whose
+/// interval contains the destination, or *up* one of its uplinks (ECMP
+/// by destination id) when the destination lies outside its subtree.
+/// Total route state is O(nodes + links) instead of O(N²).
+#[derive(Clone, Debug, Default)]
+pub struct HierEntry {
+    /// Subtree interval start (inclusive), as a raw node id.
+    pub lo: u32,
+    /// Subtree interval end (exclusive).
+    pub hi: u32,
+    /// Uplinks toward the next tier; destinations outside `[lo, hi)`
+    /// take `up[dst % up.len()]` (deterministic ECMP).
+    pub up: Vec<LinkId>,
+    /// Child subtrees as `(lo, hi, link)`; intervals must be disjoint.
+    pub children: Vec<(u32, u32, LinkId)>,
+}
+
 /// The virtual network: named hosts, directed links, all-pairs routes.
 pub struct Topology {
     node_names: Vec<String>,
@@ -48,6 +69,9 @@ pub struct Topology {
     /// next_hop[src][dst] = first link on the route, or None.
     next_hop: Vec<Vec<Option<LinkId>>>,
     routes_dirty: bool,
+    /// Hierarchical routing table; when present it replaces the dense
+    /// all-pairs `next_hop` matrix entirely.
+    hier: Option<Vec<HierEntry>>,
 }
 
 impl Topology {
@@ -59,6 +83,7 @@ impl Topology {
             adjacency: Vec::new(),
             next_hop: Vec::new(),
             routes_dirty: false,
+            hier: None,
         }
     }
 
@@ -68,6 +93,7 @@ impl Topology {
         self.node_names.push(name.into());
         self.adjacency.push(Vec::new());
         self.routes_dirty = true;
+        self.hier = None;
         id
     }
 
@@ -111,6 +137,7 @@ impl Topology {
             .push(Link::new(id, from, to, rate_bps, delay, qdisc));
         self.adjacency[from.0 as usize].push(id);
         self.routes_dirty = true;
+        self.hier = None;
         id
     }
 
@@ -172,7 +199,11 @@ impl Topology {
     /// (Re)compute all-pairs next-hop tables. Runs Dijkstra from every node
     /// with edge weight = propagation delay + serialization time of a
     /// 1500-byte packet (so faster links are preferred on ties).
+    ///
+    /// Discards any installed hierarchical table: an explicit all-pairs
+    /// recompute makes the dense matrix authoritative again.
     pub fn compute_routes(&mut self) {
+        self.hier = None;
         let n = self.node_names.len();
         self.next_hop = vec![vec![None; n]; n];
         for src in 0..n {
@@ -224,14 +255,71 @@ impl Topology {
         self.routes_dirty = false;
     }
 
-    /// Next link on the path from `from` toward `dst`, or `None` if
-    /// unreachable. Recomputes routes lazily after topology changes.
-    pub fn next_hop(&mut self, from: NodeId, dst: NodeId) -> Option<LinkId> {
-        if self.routes_dirty {
-            self.compute_routes();
+    /// Install a hierarchical next-hop table (one [`HierEntry`] per
+    /// node), replacing the dense all-pairs matrix with O(nodes + links)
+    /// state. The dense table is dropped immediately, so a 1,000-pod
+    /// fabric stops paying for a million-entry matrix.
+    ///
+    /// The entries are authoritative once installed: destinations a
+    /// node's entry cannot place (outside every child interval with no
+    /// uplinks) are treated as unreachable. Fabric builders therefore
+    /// only install tables for tree-shaped topologies where subtree
+    /// node ids are contiguous — for those, interval forwarding picks
+    /// exactly the links Dijkstra would. Any later
+    /// [`Topology::add_node`]/[`Topology::add_link`] discards the table
+    /// and falls back to all-pairs routing.
+    ///
+    /// # Panics
+    /// Panics unless there is exactly one entry per node.
+    pub fn install_hier(&mut self, mut entries: Vec<HierEntry>) {
+        assert_eq!(
+            entries.len(),
+            self.node_names.len(),
+            "one HierEntry per node"
+        );
+        for e in &mut entries {
+            e.children.sort_by_key(|&(lo, _, _)| lo);
         }
+        self.next_hop = Vec::new();
+        self.routes_dirty = false;
+        self.hier = Some(entries);
+    }
+
+    /// Whether a hierarchical routing table is currently installed.
+    pub fn has_hier(&self) -> bool {
+        self.hier.is_some()
+    }
+
+    /// Next link on the path from `from` toward `dst`, or `None` if
+    /// unreachable. Uses the hierarchical table when one is installed;
+    /// otherwise recomputes all-pairs routes lazily after topology
+    /// changes.
+    pub fn next_hop(&mut self, from: NodeId, dst: NodeId) -> Option<LinkId> {
         if from == dst {
             return None;
+        }
+        if let Some(hier) = &self.hier {
+            let e = &hier[from.0 as usize];
+            let d = dst.0;
+            if d >= e.lo && d < e.hi {
+                // Destination is below us: forward down the child whose
+                // interval contains it (children are sorted by `lo`).
+                let i = e.children.partition_point(|&(lo, _, _)| lo <= d);
+                if i > 0 {
+                    let (lo, hi, link) = e.children[i - 1];
+                    if d >= lo && d < hi {
+                        return Some(link);
+                    }
+                }
+                return None;
+            }
+            if e.up.is_empty() {
+                return None;
+            }
+            return Some(e.up[d as usize % e.up.len()]);
+        }
+        if self.routes_dirty {
+            self.compute_routes();
         }
         self.next_hop[from.0 as usize][dst.0 as usize]
     }
@@ -256,22 +344,49 @@ impl Topology {
 
     /// Render an ASCII summary of nodes and links (used by the Fig 3
     /// harness binary).
+    ///
+    /// Small fabrics list every link; generated fabrics with thousands
+    /// of links would swamp the terminal, so the listing is capped to
+    /// the top links by bytes transmitted plus one aggregated row for
+    /// the remainder.
     pub fn render(&self) -> String {
+        const TOP_K: usize = 16;
         let mut out = String::new();
         out.push_str(&format!(
             "topology: {} nodes, {} links\n",
             self.node_count(),
             self.link_count()
         ));
-        for l in &self.links {
-            out.push_str(&format!(
+        let row = |l: &Link| {
+            format!(
                 "  {} -> {}  {:.1} Gbps, {} delay\n",
                 self.node_name(l.from()),
                 self.node_name(l.to()),
                 l.rate_bps() as f64 / 1e9,
                 l.delay(),
-            ));
+            )
+        };
+        if self.links.len() <= TOP_K {
+            for l in &self.links {
+                out.push_str(&row(l));
+            }
+            return out;
         }
+        let mut by_traffic: Vec<&Link> = self.links.iter().collect();
+        by_traffic.sort_by_key(|l| (std::cmp::Reverse(l.stats().tx_bytes), l.id()));
+        for l in by_traffic.iter().take(TOP_K) {
+            out.push_str(&row(l));
+        }
+        let rest = &by_traffic[TOP_K..];
+        let (tx, drops) = rest.iter().fold((0u64, 0u64), |(tx, dr), l| {
+            (tx + l.stats().tx_bytes, dr + l.drops())
+        });
+        out.push_str(&format!(
+            "  ... {} more links: {} tx bytes, {} drops total\n",
+            rest.len(),
+            tx,
+            drops
+        ));
         out
     }
 }
@@ -397,6 +512,120 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a");
         t.add_link(a, a, 1, SimDuration::ZERO, dt());
+    }
+
+    /// A star fabric with hosts 1..=n under switch 0, plus the hier
+    /// table a fabric builder would install for it.
+    fn star(n: u32) -> (Topology, Vec<HierEntry>) {
+        let mut t = Topology::new();
+        let sw = t.add_node("switch");
+        let mut entries = vec![HierEntry {
+            lo: 0,
+            hi: n + 1,
+            up: Vec::new(),
+            children: Vec::new(),
+        }];
+        for i in 1..=n {
+            let h = t.add_node(format!("h{i}"));
+            let (uplink, downlink) =
+                t.add_duplex(h, sw, 1_000_000_000, SimDuration::from_micros(10), dt);
+            entries[0].children.push((i, i + 1, downlink));
+            entries.push(HierEntry {
+                lo: i,
+                hi: i + 1,
+                up: vec![uplink],
+                children: Vec::new(),
+            });
+        }
+        (t, entries)
+    }
+
+    #[test]
+    fn hier_star_matches_dijkstra() {
+        let (mut t, entries) = star(8);
+        // Dense answers first.
+        let n = t.node_count() as u32;
+        let mut dense = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                dense.push(t.next_hop(NodeId(a), NodeId(b)));
+            }
+        }
+        t.install_hier(entries);
+        assert!(t.has_hier());
+        let mut hier = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                hier.push(t.next_hop(NodeId(a), NodeId(b)));
+            }
+        }
+        assert_eq!(dense, hier, "hier routing must pick Dijkstra's links");
+    }
+
+    #[test]
+    fn hier_dropped_on_topology_change() {
+        let (mut t, entries) = star(2);
+        t.install_hier(entries);
+        assert!(t.has_hier());
+        let x = t.add_node("x");
+        assert!(!t.has_hier(), "mutation must invalidate the hier table");
+        // Falls back to Dijkstra: x is isolated, everything else routes.
+        assert_eq!(t.next_hop(NodeId(1), x), None);
+        assert!(t.next_hop(NodeId(1), NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn hier_path_multi_tier() {
+        // Two leaves with contiguous host intervals and one spine built
+        // last: leaf0 {h1, h2}, leaf1 {h4, h5}, spine 6.
+        let mut t = Topology::new();
+        let l0 = t.add_node("leaf0");
+        let h1 = t.add_node("h1");
+        let h2 = t.add_node("h2");
+        let l1 = t.add_node("leaf1");
+        let h4 = t.add_node("h4");
+        let h5 = t.add_node("h5");
+        let spine = t.add_node("spine");
+        let mut entries = vec![HierEntry::default(); 7];
+        for (leaf, hosts, lo) in [(l0, [h1, h2], 0u32), (l1, [h4, h5], 3u32)] {
+            entries[leaf.0 as usize].lo = lo;
+            entries[leaf.0 as usize].hi = lo + 3;
+            for h in hosts {
+                let (up, down) =
+                    t.add_duplex(h, leaf, 10_000_000_000, SimDuration::from_micros(1), dt);
+                entries[leaf.0 as usize].children.push((h.0, h.0 + 1, down));
+                entries[h.0 as usize] = HierEntry {
+                    lo: h.0,
+                    hi: h.0 + 1,
+                    up: vec![up],
+                    children: Vec::new(),
+                };
+            }
+            let (up, down) =
+                t.add_duplex(leaf, spine, 40_000_000_000, SimDuration::from_micros(1), dt);
+            entries[leaf.0 as usize].up = vec![up];
+            entries[spine.0 as usize].children.push((lo, lo + 3, down));
+        }
+        entries[spine.0 as usize].lo = 0;
+        entries[spine.0 as usize].hi = 7;
+        t.install_hier(entries);
+        // Same-leaf: 2 hops via leaf0.
+        assert_eq!(t.path(h1, h2).hops(), 2);
+        // Cross-leaf: 4 hops via spine.
+        let r = t.path(h1, h5);
+        assert_eq!(r.hops(), 4);
+        assert_eq!(t.link(r.links[1]).to(), spine);
+        assert_eq!(t.link(r.links[3]).to(), h5);
+    }
+
+    #[test]
+    fn render_caps_large_fabrics() {
+        let (t, _) = star(40);
+        let s = t.render();
+        assert!(s.contains("41 nodes, 80 links"));
+        assert!(s.contains("... 64 more links"));
+        // 16 listed rows + header + remainder row.
+        assert_eq!(s.lines().count(), 18);
     }
 
     #[test]

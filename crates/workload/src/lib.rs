@@ -22,8 +22,10 @@
 
 pub mod arrival;
 pub mod generator;
+pub mod mix;
 pub mod recorder;
 
 pub use arrival::Arrival;
 pub use generator::{GenRequest, OpenLoopGen, WorkloadSpec};
+pub use mix::{scale_mix, weighted_mix, MixClass};
 pub use recorder::{ClassSummary, Recorder};

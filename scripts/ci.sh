@@ -124,6 +124,27 @@ if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
   cargo run --offline --release -q -p meshlayer-bench --bin telemetry_mem -- \
     --scrapes 4000 --ceiling-mib 32
 
+  echo "== topology scale: generated-fabric smoke (sweep + record/replay) =="
+  # A generated ~200-pod zonal spine-leaf fabric, MESHLAYER_SECS-capped,
+  # in a DEBUG build on purpose: the arena/SoA pod state and the
+  # hierarchical O(nodes+links) routing must keep even an unoptimized
+  # binary inside a committed memory ceiling (DESIGN.md §13). Then the
+  # same fabric is held to the flight-recorder bar: record at 1 thread,
+  # replay at 4, zero divergence.
+  MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=2 MESHLAYER_WARMUP=1 \
+    cargo run --offline -q -p meshlayer-bench --bin topo_smoke -- \
+    --pods 200 --rps 2000 --rss-ceiling-mib 512
+  MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=2 MESHLAYER_WARMUP=1 \
+    cargo run --offline --release -q -p meshlayer-bench --bin topo_smoke -- --record --threads 1
+  topo_replay="$(MESHLAYER_OUT="$flight_out" MESHLAYER_SECS=2 MESHLAYER_WARMUP=1 \
+    cargo run --offline --release -q -p meshlayer-bench --bin topo_smoke -- --replay --threads 4)"
+  echo "$topo_replay"
+  rm -f "$flight_out/topo_smoke.flight"
+  if ! grep -q "0 divergences" <<<"$topo_replay"; then
+    echo "ci: 4-thread replay of the generated-fabric capture diverged" >&2
+    exit 1
+  fi
+
   echo "== engine bench: smoke run + regression gate (1 and 4 threads) =="
   # A 2-second macro bench of the event engine at 1 and 4 engine
   # threads, gated against the checked-in baseline: hard-fails only if
