@@ -41,6 +41,10 @@ use meshlayer_core::XLayerConfig;
 /// Fraction of baseline events/sec below which the gate fails.
 const GATE_FLOOR: f64 = 0.8;
 
+/// Multiple of the baseline peak RSS above which a topology-scale row
+/// fails the gate (memory is as much the scale story as throughput).
+const RSS_CEILING: f64 = 1.2;
+
 /// Fraction of unprofiled throughput the profiled run must keep
 /// (`--overhead-check`): phase timing is meant to be low-overhead.
 const OVERHEAD_FLOOR: f64 = 0.95;
@@ -233,11 +237,61 @@ fn main() {
             "gate: {:.0} events/sec vs baseline {:.0} ({:.2}x, floor {GATE_FLOOR}x)",
             report.events_per_sec, baseline.events_per_sec, ratio
         );
-        if ratio < GATE_FLOOR {
+        let mut failed = ratio < GATE_FLOOR;
+        if failed {
             eprintln!(
                 "bench_engine: FAIL: events/sec regressed >{:.0}% vs {path}",
                 (1.0 - GATE_FLOOR) * 100.0
             );
+        }
+        // Topology-scale rows gate pairwise by (pods, variant): throughput
+        // must stay at >=0.8x the baseline and peak RSS at <=1.2x. Rows
+        // the baseline lacks (new pod counts, new variants) are skipped —
+        // they have nothing to regress against yet.
+        for row in &report.topo_scale {
+            let Some(base) = baseline
+                .topo_scale
+                .iter()
+                .find(|b| b.pods == row.pods && b.variant == row.variant)
+            else {
+                eprintln!(
+                    "gate: topo {} {} pods: no baseline row, skipping",
+                    row.variant, row.pods
+                );
+                continue;
+            };
+            let eps_ratio = row.events_per_sec / base.events_per_sec.max(1e-12);
+            let rss_ratio = row.peak_rss_bytes as f64 / base.peak_rss_bytes.max(1) as f64;
+            eprintln!(
+                "gate: topo {} {} pods: {:.0} events/sec ({:.2}x, floor {GATE_FLOOR}x), \
+                 rss {:.1} MiB ({:.2}x, ceiling {RSS_CEILING}x)",
+                row.variant,
+                row.pods,
+                row.events_per_sec,
+                eps_ratio,
+                row.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+                rss_ratio
+            );
+            if eps_ratio < GATE_FLOOR {
+                eprintln!(
+                    "bench_engine: FAIL: topo {} {} pods events/sec regressed >{:.0}% vs {path}",
+                    row.variant,
+                    row.pods,
+                    (1.0 - GATE_FLOOR) * 100.0
+                );
+                failed = true;
+            }
+            if base.peak_rss_bytes > 0 && rss_ratio > RSS_CEILING {
+                eprintln!(
+                    "bench_engine: FAIL: topo {} {} pods peak RSS grew >{:.0}% vs {path}",
+                    row.variant,
+                    row.pods,
+                    (RSS_CEILING - 1.0) * 100.0
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
         eprintln!("gate: ok");

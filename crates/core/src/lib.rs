@@ -54,7 +54,7 @@ pub use policy::{
 pub use provenance::{request_priority, Classifier, Priority};
 pub use sdn::SdnController;
 pub use sim::{FlightOutcome, SimConfig, SimSpec, Simulation, INGRESS_SERVICE};
-pub use topo_gen::TopoParams;
+pub use topo_gen::{TopoMix, TopoParams};
 pub use xlayer::{
     install_host_tc, install_net_prio, install_priority_routes, XLayerConfig, HIGH_PRIO_SHARE,
 };

@@ -26,6 +26,33 @@ pub struct LinkReport {
     pub bytes_dscp_latency: u64,
     /// Bytes sent with the batch DSCP tag.
     pub bytes_dscp_batch: u64,
+    /// Fluid-plane bytes carried by the link (settled, not packetized).
+    pub fluid_bytes: u64,
+    /// Fluid-plane bytes dropped at this link (unadmitted demand,
+    /// charged to the flow's first hop).
+    pub fluid_drop_bytes: u64,
+    /// Extra packet serialization delay caused by fluid reservations,
+    /// nanoseconds, summed over transmitted packets.
+    pub fluid_delay_ns: u64,
+}
+
+/// Per-class aggregate of the fluid traffic plane (DESIGN.md §14).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FluidClassReport {
+    /// Workload class name.
+    pub class: String,
+    /// Rate flows the class was split into (one per authority replica).
+    pub flows: u32,
+    /// Aggregate offered rate, bits/second.
+    pub demand_bps: u64,
+    /// Aggregate admitted rate after the final solve, bits/second.
+    pub alloc_bps: u64,
+    /// Cumulative bytes offered over the run.
+    pub injected_bytes: u64,
+    /// Cumulative bytes delivered to replicas.
+    pub delivered_bytes: u64,
+    /// Cumulative bytes dropped (unadmitted demand).
+    pub dropped_bytes: u64,
 }
 
 /// Per-pod report.
@@ -75,6 +102,9 @@ pub struct RunMetrics {
     pub classes: Vec<ClassSummary>,
     /// Per-link reports (access links only are usually interesting).
     pub links: Vec<LinkReport>,
+    /// Per-class fluid-plane reports, alphabetical by class (empty in
+    /// all-packet worlds).
+    pub fluid: Vec<FluidClassReport>,
     /// Per-pod compute reports.
     pub pods: Vec<PodReport>,
     /// Fleet-wide sidecar counters.
@@ -142,9 +172,35 @@ impl RunMetrics {
                         .get(&meshlayer_netsim::DSCP_BATCH)
                         .copied()
                         .unwrap_or(0),
+                    fluid_bytes: s.fluid_bytes,
+                    fluid_drop_bytes: s.fluid_drop_bytes,
+                    fluid_delay_ns: s.fluid_delay_ns,
                 }
             })
             .collect();
+        let mut fluid: Vec<FluidClassReport> = Vec::new();
+        for f in &sim.fluid.flows {
+            match fluid.iter_mut().find(|r| r.class == f.class) {
+                Some(r) => {
+                    r.flows += 1;
+                    r.demand_bps += f.demand_bps;
+                    r.alloc_bps += f.alloc_bps;
+                    r.injected_bytes += f.injected_bytes;
+                    r.delivered_bytes += f.delivered_bytes;
+                    r.dropped_bytes += f.dropped_bytes;
+                }
+                None => fluid.push(FluidClassReport {
+                    class: f.class.clone(),
+                    flows: 1,
+                    demand_bps: f.demand_bps,
+                    alloc_bps: f.alloc_bps,
+                    injected_bytes: f.injected_bytes,
+                    delivered_bytes: f.delivered_bytes,
+                    dropped_bytes: f.dropped_bytes,
+                }),
+            }
+        }
+        fluid.sort_by(|a, b| a.class.cmp(&b.class));
         let pods = sim
             .cluster
             .pods()
@@ -194,6 +250,7 @@ impl RunMetrics {
         RunMetrics {
             classes,
             links,
+            fluid,
             pods,
             fleet,
             transport,
@@ -249,6 +306,17 @@ impl RunMetrics {
             out.push_str(&format!(
                 "  {:<20} n={:<6} p50={:>9.2}ms p90={:>9.2}ms p99={:>9.2}ms mean={:>9.2}ms fail={}\n",
                 c.class, c.completed, c.p50_ms, c.p90_ms, c.p99_ms, c.mean_ms, c.failed
+            ));
+        }
+        for f in &self.fluid {
+            out.push_str(&format!(
+                "  fluid {:<14} flows={:<4} demand={:.3}Gbps admitted={:.3}Gbps delivered={}B dropped={}B\n",
+                f.class,
+                f.flows,
+                f.demand_bps as f64 / 1e9,
+                f.alloc_bps as f64 / 1e9,
+                f.delivered_bytes,
+                f.dropped_bytes
             ));
         }
         // Busiest links only: a generated thousand-pod fabric has

@@ -94,6 +94,23 @@ impl Simulation {
         if let Some(fr) = self.flight_rec() {
             fr.record_fault(now, fault, phase, kind as u8, &subject, &detail);
         }
+        // Link-mutating faults change fluid-plane capacity: re-solve the
+        // rate allocation at the same instant (both injection and clear
+        // flip admin state). Routed through the event loop like every
+        // other state change so the re-solve lands in the digest.
+        if self.fluid.active()
+            && matches!(
+                ev.kind,
+                FaultKind::LinkFlap { .. } | FaultKind::Partition { .. }
+            )
+        {
+            self.push_ev(
+                now,
+                Ev::FluidUpdate {
+                    cause: super::fluid::CAUSE_CHAOS,
+                },
+            );
+        }
         if phase == 0 {
             if let Some(after) = ev.kind.clear_after() {
                 let at = now + after;

@@ -48,6 +48,17 @@ impl Simulation {
             }
         }
         self.seed_faults();
+        // The fluid plane's initial solve. Only fluid worlds push this,
+        // so all-packet runs keep their exact historical event streams
+        // (and capture digests).
+        if self.fluid.active() {
+            self.push_ev(
+                SimTime::ZERO,
+                Ev::FluidUpdate {
+                    cause: super::fluid::CAUSE_SEED,
+                },
+            );
+        }
     }
 
     pub(crate) fn run_sequential(&mut self) -> crate::metrics::RunMetrics {
@@ -127,6 +138,7 @@ impl Simulation {
                 pod,
             } => self.on_policy_apply(version, layer, pod, now),
             Ev::Fault { fault, phase } => self.on_fault(fault, phase, now),
+            Ev::FluidUpdate { cause } => self.on_fluid_update(cause, now),
         }
     }
 
@@ -157,8 +169,12 @@ impl Simulation {
                 let busy = l.stats().busy_ns;
                 let drops = l.drops();
                 self.scrape.links[l.id().0 as usize] = (busy, drops);
-                let util =
-                    (busy.saturating_sub(prev_busy) as f64 / elapsed_ns as f64).clamp(0.0, 1.0);
+                // Utilization = packet serialization share over the
+                // interval plus the standing fluid-plane reservation.
+                let fluid_share = l.fluid_bps() as f64 / l.rate_bps().max(1) as f64;
+                let util = (busy.saturating_sub(prev_busy) as f64 / elapsed_ns as f64
+                    + fluid_share)
+                    .clamp(0.0, 1.0);
                 // A policy apply that swaps the qdisc resets the drop
                 // counter; read that window as zero drops, not underflow.
                 (

@@ -56,6 +56,7 @@ impl Ev {
             Ev::PolicyPush { .. } => 16,
             Ev::PolicyApply { .. } => 17,
             Ev::Fault { .. } => 18,
+            Ev::FluidUpdate { .. } => 19,
         }
     }
 }
@@ -132,6 +133,7 @@ fn fold_event(state: u64, seq: u64, t: SimTime, ev: &Ev) -> u64 {
             d = fold_u64(d, *fault as u64);
             fold_bytes(d, &[*phase])
         }
+        Ev::FluidUpdate { cause } => fold_bytes(d, &[*cause]),
     }
 }
 

@@ -21,11 +21,13 @@ mod chaos_rt;
 mod engine;
 mod exec;
 mod flight;
+mod fluid;
 mod par;
 mod policy_rt;
 mod prov;
 mod rpc;
 mod store;
+mod subset;
 
 pub use flight::FlightOutcome;
 
@@ -78,6 +80,12 @@ pub struct SimConfig {
     /// long after the push (sidecars add deterministic per-pod jitter on
     /// top, xDS-style staggered convergence).
     pub policy_push_delay: SimDuration,
+    /// Endpoint subsetting in discovery: a client whose upstream replica
+    /// pool is larger than this sees only a deterministic per-client
+    /// subset of this size (0 disables subsetting). Shrinks per-client
+    /// route/conn tables at thousand-replica scale; every replica is
+    /// still covered by some client's subset (see [`mod@self::subset`]).
+    pub subset_size: usize,
     /// Time-series telemetry: scrape interval and SLO targets.
     pub telemetry: TelemetryConfig,
     /// Worker threads for the event engine. `1` (the default) runs the
@@ -106,6 +114,7 @@ impl Default for SimConfig {
             sdn_tick: SimDuration::from_millis(50),
             control_tick: SimDuration::from_secs(1),
             policy_push_delay: SimDuration::from_millis(10),
+            subset_size: 0,
             telemetry: TelemetryConfig::default(),
             threads: 1,
         }
@@ -219,11 +228,17 @@ pub(crate) enum Ev {
     /// The chaos plane injects (`phase` 0) or clears (`phase` 1) fault
     /// number `fault` of the spec's [`meshlayer_chaos::FaultScript`].
     Fault { fault: u32, phase: u8 },
+    /// Re-solve the fluid traffic plane: settle every flow's bytes since
+    /// the previous update, recompute max-min fair allocations over the
+    /// current topology, and refresh per-link `fluid_bps` reservations.
+    /// `cause` is a `fluid::CAUSE_*` code (seed, epoch tick, or
+    /// chaos-driven link change) folded into the flight digest.
+    FluidUpdate { cause: u8 },
 }
 
 impl Ev {
     /// Number of variants ([`Ev::code`] is `0..COUNT`).
-    pub(crate) const COUNT: usize = 19;
+    pub(crate) const COUNT: usize = 20;
 
     /// Variant names, indexed by [`Ev::code`] — for the per-event
     /// profiling counters.
@@ -247,6 +262,7 @@ impl Ev {
         "PolicyPush",
         "PolicyApply",
         "Fault",
+        "FluidUpdate",
     ];
 
     /// Variant name, for the per-event profiling counters.
@@ -486,6 +502,13 @@ pub struct Simulation {
     /// Chaos-plane runtime state (what each active fault saved for its
     /// clear phase).
     pub(crate) chaos: chaos_rt::ChaosRt,
+    /// Fluid traffic plane: rate flows for
+    /// [`meshlayer_workload::Granularity::Fluid`] workloads (see
+    /// [`mod@self::fluid`]). Empty for all-packet worlds.
+    pub(crate) fluid: fluid::FluidRt,
+    /// Deterministic endpoint subsets per (client pod, service), when
+    /// [`SimConfig::subset_size`] is non-zero.
+    pub(crate) subsets: subset::Subsets,
     /// Whether the next `run()` should record wall-clock phase timings.
     profile_requested: bool,
     /// The phase profile of the last profiled run, until taken.
@@ -598,10 +621,15 @@ impl Simulation {
             );
         }
 
+        // Only per-packet workloads get open-loop generators; fluid
+        // classes are handled by the fluid plane. Seeding stays keyed on
+        // the *spec* index so an all-packet world draws exactly the same
+        // streams it always did.
         let gens: Vec<OpenLoopGen> = spec
             .workloads
             .iter()
             .enumerate()
+            .filter(|(_, w)| w.granularity == meshlayer_workload::Granularity::Packet)
             .map(|(i, w)| {
                 OpenLoopGen::new(
                     w.clone(),
@@ -610,6 +638,9 @@ impl Simulation {
                 )
             })
             .collect();
+
+        let fluid = fluid::FluidRt::build(&spec, &cluster);
+        let subsets = subset::Subsets::build(spec.config.subset_size, &cluster, &rng);
 
         let end_at = SimTime::ZERO + spec.config.duration;
         let window_start = SimTime::ZERO + spec.config.warmup;
@@ -654,6 +685,8 @@ impl Simulation {
             ev_profile: [(0, 0); Ev::COUNT],
             prov: prov::ProvTrack::default(),
             chaos: chaos_rt::ChaosRt::default(),
+            fluid,
+            subsets,
             profile_requested: false,
             profile: None,
             rng: rng.split("world"),

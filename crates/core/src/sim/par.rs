@@ -322,7 +322,8 @@ impl Simulation {
             | Ev::TelemetryTick
             | Ev::PolicyPush { .. }
             | Ev::PolicyApply { .. }
-            | Ev::Fault { .. } => plan.control_lp,
+            | Ev::Fault { .. }
+            | Ev::FluidUpdate { .. } => plan.control_lp,
         };
         rt.push_lp(at, ev, lp);
     }

@@ -75,6 +75,7 @@ impl Simulation {
             let fabric = &self.fabric;
             let sdn = &self.sdn;
             let sdn_lb = self.live.sdn_lb;
+            let subsets = &self.subsets;
             let sc = self.sidecars.get_mut(caller).expect("caller sidecar");
             // §4.3 step 2: copy priority/trace onto the child request.
             let annotated = sc.annotate_outbound(&mut req, now);
@@ -98,7 +99,11 @@ impl Simulation {
             let decision = sc.route_outbound(
                 &req,
                 &|c, s| {
-                    let eps = cluster.endpoints(c, s);
+                    // Discovery-time endpoint subsetting (§ subset.rs)
+                    // narrows the pool before SDN congestion filtering,
+                    // mirroring xDS: the client never learns endpoints
+                    // outside its subset.
+                    let eps = subsets.filter(caller, c, cluster.endpoints(c, s));
                     if sdn_lb {
                         sdn.uncongested(fabric, &eps)
                     } else {
@@ -385,11 +390,12 @@ impl Simulation {
         let fabric = &self.fabric;
         let sdn = &self.sdn;
         let sdn_lb = self.live.sdn_lb;
+        let subsets = &self.subsets;
         let sc = self.sidecars.get_mut(caller).expect("caller sidecar");
         sc.route_outbound(
             req,
             &|c, s| {
-                let eps = cluster.endpoints(c, s);
+                let eps = subsets.filter(caller, c, cluster.endpoints(c, s));
                 if sdn_lb {
                     sdn.uncongested(fabric, &eps)
                 } else {

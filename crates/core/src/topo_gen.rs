@@ -19,7 +19,35 @@
 use crate::netplan::{FabricKind, NetworkPlan};
 use crate::sim::{SimConfig, SimSpec};
 use meshlayer_cluster::{service_tree, ServiceSpec, ServiceTreeParams};
-use meshlayer_workload::{scale_mix, WorkloadSpec};
+use meshlayer_workload::{scale_mix, scale_mix_bg, WorkloadSpec};
+
+/// Which request-class mix a generated world offers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopoMix {
+    /// The interactive scale mix: 70% browse, 20% checkout, 10%
+    /// analytics, all per-packet ([`scale_mix`]).
+    Interactive,
+    /// The background-heavy mix (15% per-packet foreground under 85%
+    /// analytics + elephant bulk ingest), everything per-packet —
+    /// the baseline side of the fluid-plane comparison
+    /// ([`scale_mix_bg`] with `fluid = false`).
+    BackgroundPacket,
+    /// The same background-heavy mix with the two background classes
+    /// running as fluid rate flows ([`scale_mix_bg`] with
+    /// `fluid = true`).
+    BackgroundFluid,
+}
+
+impl TopoMix {
+    /// Canonical token used in [`TopoParams::describe`].
+    fn token(self) -> &'static str {
+        match self {
+            TopoMix::Interactive => "interactive",
+            TopoMix::BackgroundPacket => "background_packet",
+            TopoMix::BackgroundFluid => "background_fluid",
+        }
+    }
+}
 
 /// Parameters of a generated world: application tree, fabric shape and
 /// offered load.
@@ -46,6 +74,10 @@ pub struct TopoParams {
     pub replica_spread: u32,
     /// Total offered load across the request-class mix, RPS.
     pub rps: f64,
+    /// Which request-class mix to offer.
+    pub mix: TopoMix,
+    /// Endpoint-subset size for discovery (0 disables subsetting).
+    pub subset_size: usize,
 }
 
 impl Default for TopoParams {
@@ -61,6 +93,8 @@ impl Default for TopoParams {
             replicas: 8,
             replica_spread: 0,
             rps: 10_000.0,
+            mix: TopoMix::Interactive,
+            subset_size: 0,
         }
     }
 }
@@ -69,7 +103,11 @@ impl TopoParams {
     /// A parameter block sized to roughly `pods` application pods at
     /// `rps` total offered RPS: a 3-tier fan-out-3 tree (13 services)
     /// with replica pools sized to hit the target, over a fabric with
-    /// about 48 hosts per leaf.
+    /// about 48 hosts per leaf. Discovery subsetting is on (subsets of
+    /// 8, pass-through where pools are that small): without it, every
+    /// caller pod holds live transport state to every replica of its
+    /// callee services, and that caller×callee product dominates peak
+    /// RSS at ~1,000 pods.
     pub fn sized(pods: usize, rps: f64) -> TopoParams {
         let services = 13; // 1 + 3 + 9
         let replicas = pods.div_ceil(services).max(1) as u32;
@@ -80,6 +118,7 @@ impl TopoParams {
             spines: 2,
             replicas,
             rps,
+            subset_size: 8,
             ..TopoParams::default()
         }
     }
@@ -103,7 +142,11 @@ impl TopoParams {
 
     /// The generated workload mix.
     pub fn workloads(&self) -> Vec<WorkloadSpec> {
-        scale_mix(self.rps)
+        match self.mix {
+            TopoMix::Interactive => scale_mix(self.rps),
+            TopoMix::BackgroundPacket => scale_mix_bg(self.rps, false),
+            TopoMix::BackgroundFluid => scale_mix_bg(self.rps, true),
+        }
     }
 
     /// Total application pods the generated services deploy (the
@@ -131,6 +174,7 @@ impl TopoParams {
             seed: self.seed,
             nodes: total_pods.div_ceil(64),
             pods_per_node: 64,
+            subset_size: self.subset_size,
             ..SimConfig::default()
         };
         spec
@@ -143,8 +187,14 @@ impl TopoParams {
     pub fn describe(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "topo-gen seed={} fabric=zonal zones={} leaves_per_zone={} spines={} oversub={:.3}\n",
-            self.seed, self.zones, self.leaves_per_zone, self.spines, self.oversubscription
+            "topo-gen seed={} fabric=zonal zones={} leaves_per_zone={} spines={} oversub={:.3} mix={} subset={}\n",
+            self.seed,
+            self.zones,
+            self.leaves_per_zone,
+            self.spines,
+            self.oversubscription,
+            self.mix.token(),
+            self.subset_size
         ));
         for s in self.services() {
             let b = &s.behaviors[0].1;

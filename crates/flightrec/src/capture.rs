@@ -9,8 +9,8 @@
 
 use crate::log::LogWriter;
 use crate::record::{
-    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, FaultRecord, MetaInfo,
-    MsgBindRecord, PacketRecord, Record, NO_POD,
+    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, FaultRecord, FluidRecord,
+    MetaInfo, MsgBindRecord, PacketRecord, Record, NO_POD,
 };
 use meshlayer_http::StatusCode;
 use meshlayer_mesh::{Decision, DecisionSink};
@@ -59,6 +59,8 @@ pub struct CaptureCounts {
     pub anomalies: u64,
     /// Fault records written.
     pub faults: u64,
+    /// Fluid-plane re-solve records written.
+    pub fluids: u64,
 }
 
 struct Inner {
@@ -256,6 +258,31 @@ impl FlightRecorder {
             detail: detail.to_string(),
         }));
         g.counts.faults += 1;
+    }
+
+    /// Record one fluid-plane rate re-solve.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_fluid(
+        &self,
+        now: SimTime,
+        cause: u8,
+        flows: u32,
+        demand_bps: u64,
+        alloc_bps: u64,
+        delivered_bytes: u64,
+        dropped_bytes: u64,
+    ) {
+        let mut g = self.inner.lock();
+        g.write(&Record::Fluid(FluidRecord {
+            t_ns: now.as_nanos(),
+            cause,
+            flows,
+            demand_bps,
+            alloc_bps,
+            delivered_bytes,
+            dropped_bytes,
+        }));
+        g.counts.fluids += 1;
     }
 
     /// Write the final totals frame.

@@ -10,8 +10,8 @@
 
 use crate::log::{FrameError, LogReader};
 use crate::record::{
-    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, FaultRecord, MetaInfo,
-    MsgBindRecord, PacketRecord, Record, NO_POD,
+    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, FaultRecord, FluidRecord,
+    MetaInfo, MsgBindRecord, PacketRecord, Record, NO_POD,
 };
 use meshlayer_netsim::TapOp;
 use std::collections::BTreeSet;
@@ -35,6 +35,8 @@ pub struct FlightLog {
     pub anomalies: Vec<AnomalyRecord>,
     /// Chaos-plane fault injections/clears in injection order.
     pub faults: Vec<FaultRecord>,
+    /// Fluid-plane rate re-solves in commit order.
+    pub fluids: Vec<FluidRecord>,
     /// Final totals frame, if the capture completed.
     pub end: Option<EndRecord>,
 }
@@ -53,6 +55,7 @@ impl FlightLog {
                 Record::MsgBind(b) => log.binds.push(b),
                 Record::Anomaly(a) => log.anomalies.push(a),
                 Record::Fault(f) => log.faults.push(f),
+                Record::Fluid(f) => log.fluids.push(f),
                 Record::End(e) => log.end = Some(e),
             }
         }
@@ -102,13 +105,14 @@ impl FlightLog {
         }
         let _ = writeln!(
             out,
-            "records: {} events, {} packets, {} decisions, {} msg-binds, {} anomalies, {} faults",
+            "records: {} events, {} packets, {} decisions, {} msg-binds, {} anomalies, {} faults, {} fluid",
             self.events.len(),
             self.packets.len(),
             self.decisions.len(),
             self.binds.len(),
             self.anomalies.len(),
-            self.faults.len()
+            self.faults.len(),
+            self.fluids.len()
         );
         match &self.end {
             Some(e) => {

@@ -17,7 +17,7 @@
 //!
 //! Structure:
 //!
-//! * [`record`] — the eight record types and their binary encoding;
+//! * [`record`] — the nine record types and their binary encoding;
 //! * [`log`] — checksummed framing, append-only writer / streaming reader;
 //! * [`digest`] — chained FNV-1a hashing used for digests and checksums;
 //! * [`capture`] — the live [`FlightRecorder`] (implements the netsim
@@ -45,7 +45,7 @@ pub use capture::{CaptureCounts, CaptureFilter, FlightRecorder};
 pub use explore::FlightLog;
 pub use log::{FrameError, LogReader, LogWriter};
 pub use record::{
-    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, FaultRecord, MetaInfo,
-    MsgBindRecord, PacketRecord, Record, FORMAT_VERSION, MAGIC, NO_POD,
+    AnomalyRecord, DecisionKind, DecisionRecord, EndRecord, EventRecord, FaultRecord, FluidRecord,
+    MetaInfo, MsgBindRecord, PacketRecord, Record, FORMAT_VERSION, MAGIC, NO_POD,
 };
 pub use replay::{Divergence, ReplayChecker, ReplayReport};

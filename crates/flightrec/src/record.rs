@@ -1,7 +1,7 @@
 //! The capture record types and their binary wire encoding.
 //!
 //! A flight-recorder log is a stream of self-framing records (see
-//! [`crate::log`] for the framing). Eight record kinds exist:
+//! [`crate::log`] for the framing). Nine record kinds exist:
 //!
 //! | tag | record     | cadence                                      |
 //! |-----|------------|----------------------------------------------|
@@ -13,6 +13,7 @@
 //! | 6   | `End`      | once, last frame — totals + final digest     |
 //! | 7   | `Anomaly`  | every telemetry anomaly the detector flags   |
 //! | 8   | `Fault`    | every chaos-plane fault injection and clear  |
+//! | 9   | `Fluid`    | every fluid-plane rate re-solve              |
 //!
 //! All multi-byte integers are little-endian. Strings are a `u16`
 //! length followed by UTF-8 bytes. The `Meta` payload is JSON so the
@@ -43,6 +44,8 @@ pub const TAG_END: u8 = 6;
 pub const TAG_ANOMALY: u8 = 7;
 /// Frame tag for [`Record::Fault`].
 pub const TAG_FAULT: u8 = 8;
+/// Frame tag for [`Record::Fluid`].
+pub const TAG_FLUID: u8 = 9;
 
 /// Sentinel for "no pod chosen" in [`DecisionRecord::chosen`].
 pub const NO_POD: u32 = u32::MAX;
@@ -258,6 +261,35 @@ pub struct FaultRecord {
     pub detail: String,
 }
 
+/// One fluid-plane re-solve: the piecewise-constant rate flows changed.
+///
+/// Written at every `FluidUpdate` event a recording run commits, so a
+/// capture documents each step of the background-load staircase: how
+/// many flows were live, how much of the aggregate demand the max-min
+/// solver admitted, and the bytes settled for the window that just
+/// closed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FluidRecord {
+    /// Simulated time of the re-solve, nanoseconds.
+    pub t_ns: u64,
+    /// Why rates changed: 0 = initial solve, 1 = epoch tick, 2 =
+    /// chaos-driven link change (engine-defined).
+    pub cause: u8,
+    /// Flows live after the re-solve.
+    pub flows: u32,
+    /// Aggregate offered demand of all flows, bits/second.
+    pub demand_bps: u64,
+    /// Aggregate admitted allocation after max-min fair sharing,
+    /// bits/second.
+    pub alloc_bps: u64,
+    /// Bytes delivered across all flows in the window settled by this
+    /// update.
+    pub delivered_bytes: u64,
+    /// Bytes dropped (demand the solver could not admit) in the settled
+    /// window.
+    pub dropped_bytes: u64,
+}
+
 /// Final frame: totals and the final chained digest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EndRecord {
@@ -286,6 +318,8 @@ pub enum Record {
     Anomaly(AnomalyRecord),
     /// Chaos-plane fault injection/clear.
     Fault(FaultRecord),
+    /// Fluid-plane rate re-solve.
+    Fluid(FluidRecord),
 }
 
 /// Why a record payload failed to decode.
@@ -384,6 +418,7 @@ impl Record {
             Record::End(_) => TAG_END,
             Record::Anomaly(_) => TAG_ANOMALY,
             Record::Fault(_) => TAG_FAULT,
+            Record::Fluid(_) => TAG_FLUID,
         }
     }
 
@@ -460,6 +495,15 @@ impl Record {
                 put_str(&mut out, &fr.subject);
                 put_str(&mut out, &fr.detail);
             }
+            Record::Fluid(fl) => {
+                out.extend_from_slice(&fl.t_ns.to_le_bytes());
+                out.push(fl.cause);
+                out.extend_from_slice(&fl.flows.to_le_bytes());
+                out.extend_from_slice(&fl.demand_bps.to_le_bytes());
+                out.extend_from_slice(&fl.alloc_bps.to_le_bytes());
+                out.extend_from_slice(&fl.delivered_bytes.to_le_bytes());
+                out.extend_from_slice(&fl.dropped_bytes.to_le_bytes());
+            }
         }
         out
     }
@@ -532,6 +576,15 @@ impl Record {
                 kind: c.u8()?,
                 subject: c.str()?,
                 detail: c.str()?,
+            }),
+            TAG_FLUID => Record::Fluid(FluidRecord {
+                t_ns: c.u64()?,
+                cause: c.u8()?,
+                flows: c.u32()?,
+                demand_bps: c.u64()?,
+                alloc_bps: c.u64()?,
+                delivered_bytes: c.u64()?,
+                dropped_bytes: c.u64()?,
             }),
             t => return Err(DecodeError::BadTag(t)),
         };
@@ -619,6 +672,15 @@ mod tests {
             kind: 0,
             subject: "reviews/1".into(),
             detail: "pod reviews-2 crashed (restart in 2.000s)".into(),
+        }));
+        roundtrip(Record::Fluid(FluidRecord {
+            t_ns: 3_500_000_000,
+            cause: 1,
+            flows: 154,
+            demand_bps: 5_300_000_000,
+            alloc_bps: 4_900_000_000,
+            delivered_bytes: 306_250_000,
+            dropped_bytes: 25_000_000,
         }));
     }
 

@@ -57,6 +57,11 @@ pub struct SidecarStats {
     pub resp_5xx: u64,
     /// Priority headers propagated onto child requests.
     pub priority_propagated: u64,
+    /// Bytes delivered to the local app by fluid-plane flows (bulk
+    /// background traffic modeled as rate flows, not per-request
+    /// packets). Keeps telemetry/SLO views of total load honest when a
+    /// class runs at fluid granularity.
+    pub fluid_bytes_in: u64,
 }
 
 impl SidecarStats {
@@ -70,6 +75,7 @@ impl SidecarStats {
         self.resp_4xx += other.resp_4xx;
         self.resp_5xx += other.resp_5xx;
         self.priority_propagated += other.priority_propagated;
+        self.fluid_bytes_in += other.fluid_bytes_in;
     }
 }
 
@@ -268,6 +274,12 @@ impl Sidecar {
     /// Counters.
     pub fn stats(&self) -> &SidecarStats {
         &self.stats
+    }
+
+    /// Account bytes delivered to the local app by a fluid-plane flow
+    /// (see [`SidecarStats::fluid_bytes_in`]).
+    pub fn account_fluid_bytes(&mut self, bytes: u64) {
+        self.stats.fluid_bytes_in += bytes;
     }
 
     /// The active config version (for xDS sync).

@@ -60,6 +60,16 @@ pub struct LinkStats {
     pub peak_queue_bytes: u64,
     /// Packets dropped because the link was administratively down.
     pub admin_drops: u64,
+    /// Fluid-plane bytes carried by this link (settled by the fluid
+    /// runtime at rate-change boundaries, not per packet).
+    pub fluid_bytes: u64,
+    /// Fluid-plane bytes that could not be carried (demand above the
+    /// max-min fair allocation, or the link was down).
+    pub fluid_drop_bytes: u64,
+    /// Extra serialization nanoseconds per-packet traffic spent because
+    /// fluid reservations reduced the effective wire rate — the
+    /// NetQueue delay attributable to fluid contention.
+    pub fluid_delay_ns: u64,
 }
 
 /// A unidirectional link: tail qdisc + serializing wire.
@@ -77,6 +87,7 @@ pub struct Link {
     stats: LinkStats,
     tap: Option<Arc<dyn PacketTap>>,
     admin_up: bool,
+    fluid_bps: u64,
 }
 
 impl Link {
@@ -105,6 +116,7 @@ impl Link {
             stats: LinkStats::default(),
             tap: None,
             admin_up: true,
+            fluid_bps: 0,
         }
     }
 
@@ -138,6 +150,42 @@ impl Link {
     /// Serialization rate, bits/second.
     pub fn rate_bps(&self) -> u64 {
         self.rate_bps
+    }
+
+    /// Bits/second currently reserved by fluid-plane flows. Set by the
+    /// fluid runtime's fair-share solver at rate-change events; zero in
+    /// worlds without fluid traffic.
+    pub fn fluid_bps(&self) -> u64 {
+        self.fluid_bps
+    }
+
+    /// Reserve `bps` of the wire for fluid-plane flows. The solver caps
+    /// its per-link allocation below the raw rate, but the reservation
+    /// is defensively clamped so per-packet traffic always keeps at
+    /// least `1/`[`Link::MIN_PACKET_SHARE_DIV`] of the wire.
+    pub fn set_fluid_bps(&mut self, bps: u64) {
+        self.fluid_bps = bps.min(self.rate_bps - self.rate_bps / Self::MIN_PACKET_SHARE_DIV);
+    }
+
+    /// Per-packet traffic keeps at least `1/MIN_PACKET_SHARE_DIV` of the
+    /// wire no matter how much fluid demand exists (mirrors the paper's
+    /// "nearly-strict prioritization (up to 95%)" HTB split, with fluid
+    /// in the role of the greedy class).
+    pub const MIN_PACKET_SHARE_DIV: u64 = 20;
+
+    /// The wire rate per-packet traffic is served at: the raw rate minus
+    /// the fluid reservation, floored at the guaranteed packet share.
+    pub fn effective_rate_bps(&self) -> u64 {
+        (self.rate_bps - self.fluid_bps)
+            .max(self.rate_bps / Self::MIN_PACKET_SHARE_DIV)
+            .max(1)
+    }
+
+    /// Settle `delivered`/`dropped` fluid bytes onto this link's
+    /// counters (called by the fluid runtime at settlement boundaries).
+    pub fn add_fluid_bytes(&mut self, delivered: u64, dropped: u64) {
+        self.stats.fluid_bytes += delivered;
+        self.stats.fluid_drop_bytes += dropped;
     }
 
     /// Propagation delay the driver adds after `on_tx_done`.
@@ -297,7 +345,13 @@ impl Link {
                         now,
                     });
                 }
-                let done_at = now + tx_time(pkt.wire_size() as u64, self.rate_bps);
+                let wire = pkt.wire_size() as u64;
+                let tx = tx_time(wire, self.effective_rate_bps());
+                if self.fluid_bps > 0 {
+                    self.stats.fluid_delay_ns +=
+                        tx.saturating_sub(tx_time(wire, self.rate_bps)).as_nanos();
+                }
+                let done_at = now + tx;
                 self.in_flight = Some(pkt);
                 self.tx_started = now;
                 LinkOutcome::Busy { done_at }
@@ -525,6 +579,50 @@ mod tests {
         let (out4, dropped4) = link.offer(pkt(4, 1434), d2);
         assert!(!dropped4);
         assert!(matches!(out4, LinkOutcome::Busy { .. }));
+    }
+
+    #[test]
+    fn fluid_reservation_slows_packet_service() {
+        let mut link = mklink(1_000_000_000); // 1 Gbps: 1500B = 12 us
+        link.set_fluid_bps(500_000_000); // fluid takes half the wire
+        assert_eq!(link.effective_rate_bps(), 500_000_000);
+        let (out, _) = link.offer(pkt(1, 1434), SimTime::ZERO);
+        let done = match out {
+            LinkOutcome::Busy { done_at } => done_at,
+            other => panic!("{other:?}"),
+        };
+        // Half the wire -> double the serialization time.
+        assert_eq!(done, SimTime::from_micros(24));
+        assert_eq!(link.stats().fluid_delay_ns, 12_000);
+        // Clearing the reservation restores full-rate service.
+        link.set_fluid_bps(0);
+        let (p, _) = link.on_tx_done(done);
+        assert_eq!(p.id, 1);
+        let (out, _) = link.offer(pkt(2, 1434), done);
+        match out {
+            LinkOutcome::Busy { done_at } => {
+                assert_eq!(done_at, done + SimDuration::from_micros(12));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fluid_reservation_clamped_to_packet_floor() {
+        let mut link = mklink(1_000_000_000);
+        // Ask for more than the wire: packets keep their guaranteed 5%.
+        link.set_fluid_bps(2_000_000_000);
+        assert_eq!(link.fluid_bps(), 950_000_000);
+        assert_eq!(link.effective_rate_bps(), 50_000_000);
+    }
+
+    #[test]
+    fn fluid_byte_settlement_accumulates() {
+        let mut link = mklink(1_000_000);
+        link.add_fluid_bytes(1_000, 10);
+        link.add_fluid_bytes(500, 0);
+        assert_eq!(link.stats().fluid_bytes, 1_500);
+        assert_eq!(link.stats().fluid_drop_bytes, 10);
     }
 
     #[test]

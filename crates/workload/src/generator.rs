@@ -5,6 +5,28 @@ use meshlayer_http::{HeaderMap, Method, Request};
 use meshlayer_simcore::{Dist, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
+/// How the engine simulates a workload's traffic.
+///
+/// Per-packet simulation models every request, hop and queue occupancy
+/// individually — the right tool for the foreground classes the paper's
+/// §4 mechanisms act on. Background/elephant classes only matter through
+/// the *aggregate* bandwidth they impose, so simulating their packets is
+/// pure event-count overhead; declaring them [`Granularity::Fluid`]
+/// collapses the stream into deterministic piecewise-constant rate flows
+/// that reserve link capacity in bulk (see `meshlayer-core`'s
+/// `sim/fluid.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Every request is generated, routed and transmitted packet by
+    /// packet (the default).
+    #[default]
+    Packet,
+    /// The request stream becomes rate flows (src→dst, bytes/sec) that
+    /// consume link capacity inside the qdisc model; no per-request
+    /// packets are simulated.
+    Fluid,
+}
+
 /// Declarative description of one workload hitting the ingress gateway.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct WorkloadSpec {
@@ -24,6 +46,8 @@ pub struct WorkloadSpec {
     /// Headers stamped on every request (e.g. nothing — the paper's
     /// classification happens *at the ingress*, not at the client).
     pub headers: Vec<(String, String)>,
+    /// Simulation granularity of this class's traffic.
+    pub granularity: Granularity,
 }
 
 impl WorkloadSpec {
@@ -38,6 +62,7 @@ impl WorkloadSpec {
             method: Method::Get,
             body: Dist::constant(0.0),
             headers: Vec::new(),
+            granularity: Granularity::Packet,
         }
     }
 
@@ -57,6 +82,27 @@ impl WorkloadSpec {
     pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
         self.headers.push((name.into(), value.into()));
         self
+    }
+
+    /// Builder: request body size distribution.
+    pub fn with_body(mut self, body: Dist) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Builder: simulation granularity.
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// The class's offered byte rate in bits/second: arrival rate × mean
+    /// request wire size (body plus `overhead_bytes` of per-request
+    /// framing). This is the demand a [`Granularity::Fluid`] class
+    /// presents to the fluid solver.
+    pub fn offered_bps(&self, overhead_bytes: u64) -> u64 {
+        let bytes = self.body.mean().max(0.0) + overhead_bytes as f64;
+        (self.arrival.rps() * bytes * 8.0).round() as u64
     }
 }
 

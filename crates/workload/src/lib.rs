@@ -26,6 +26,6 @@ pub mod mix;
 pub mod recorder;
 
 pub use arrival::Arrival;
-pub use generator::{GenRequest, OpenLoopGen, WorkloadSpec};
-pub use mix::{scale_mix, weighted_mix, MixClass};
+pub use generator::{GenRequest, Granularity, OpenLoopGen, WorkloadSpec};
+pub use mix::{scale_mix, scale_mix_bg, weighted_mix, MixClass, ELEPHANT_BODY_BYTES};
 pub use recorder::{ClassSummary, Recorder};

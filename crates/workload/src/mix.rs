@@ -7,7 +7,8 @@
 //! with rates proportional to the weights, so a sweep can move a single
 //! number from 10⁵ to 10⁶ RPS while holding the mix shape fixed.
 
-use crate::generator::WorkloadSpec;
+use crate::generator::{Granularity, WorkloadSpec};
+use meshlayer_simcore::Dist;
 
 /// One class of a traffic mix.
 #[derive(Clone, Debug)]
@@ -18,16 +19,34 @@ pub struct MixClass {
     pub path: String,
     /// Relative weight (any positive scale; normalized over the mix).
     pub weight: f64,
+    /// Constant request body size, bytes (0 for header-only requests).
+    pub body_bytes: u64,
+    /// Simulation granularity of the class.
+    pub granularity: Granularity,
 }
 
 impl MixClass {
-    /// A class with the given name, path and weight.
+    /// A per-packet class with the given name, path and weight.
     pub fn new(name: impl Into<String>, path: impl Into<String>, weight: f64) -> MixClass {
         MixClass {
             name: name.into(),
             path: path.into(),
             weight,
+            body_bytes: 0,
+            granularity: Granularity::Packet,
         }
+    }
+
+    /// Builder: constant request body size in bytes.
+    pub fn with_body_bytes(mut self, bytes: u64) -> MixClass {
+        self.body_bytes = bytes;
+        self
+    }
+
+    /// Builder: simulation granularity.
+    pub fn with_granularity(mut self, granularity: Granularity) -> MixClass {
+        self.granularity = granularity;
+        self
     }
 }
 
@@ -46,7 +65,11 @@ pub fn weighted_mix(total_rps: f64, classes: &[MixClass]) -> Vec<WorkloadSpec> {
     classes
         .iter()
         .filter(|c| c.weight > 0.0)
-        .map(|c| WorkloadSpec::get(&c.name, &c.path, total_rps * c.weight / total_w))
+        .map(|c| {
+            WorkloadSpec::get(&c.name, &c.path, total_rps * c.weight / total_w)
+                .with_body(Dist::constant(c.body_bytes as f64))
+                .with_granularity(c.granularity)
+        })
         .collect()
 }
 
@@ -60,6 +83,36 @@ pub fn scale_mix(total_rps: f64) -> Vec<WorkloadSpec> {
             MixClass::new("browse", "/op", 0.7),
             MixClass::new("checkout", "/op", 0.2),
             MixClass::new("analytics", "/op", 0.1),
+        ],
+    )
+}
+
+/// Request body of one elephant bulk-ingest call, bytes. Big enough that
+/// the class's load is dominated by bandwidth, small enough that the
+/// aggregate demand stays below fabric link rates at 10⁵ total RPS.
+pub const ELEPHANT_BODY_BYTES: u64 = 8 * 1024;
+
+/// The background-heavy mix of the fluid-plane experiments: a small
+/// per-packet foreground (10% browse + 5% checkout) under a dominant
+/// background of 20% analytics and 65% elephant bulk ingest
+/// ([`ELEPHANT_BODY_BYTES`] request bodies). With `fluid` set, the two
+/// background classes run at [`Granularity::Fluid`] — same offered load,
+/// but their streams become rate flows instead of per-packet traffic.
+pub fn scale_mix_bg(total_rps: f64, fluid: bool) -> Vec<WorkloadSpec> {
+    let g = if fluid {
+        Granularity::Fluid
+    } else {
+        Granularity::Packet
+    };
+    weighted_mix(
+        total_rps,
+        &[
+            MixClass::new("browse", "/op", 0.10),
+            MixClass::new("checkout", "/op", 0.05),
+            MixClass::new("analytics", "/op", 0.20).with_granularity(g),
+            MixClass::new("elephant", "/op", 0.65)
+                .with_body_bytes(ELEPHANT_BODY_BYTES)
+                .with_granularity(g),
         ],
     )
 }
@@ -84,6 +137,31 @@ mod tests {
         assert_eq!(rates, vec![70_000.0, 20_000.0, 10_000.0]);
         let total: f64 = rates.iter().sum();
         assert!((total - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bg_mix_marks_background_classes_fluid() {
+        let specs = scale_mix_bg(100_000.0, true);
+        let by_name = |n: &str| specs.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("browse").granularity, Granularity::Packet);
+        assert_eq!(by_name("checkout").granularity, Granularity::Packet);
+        assert_eq!(by_name("analytics").granularity, Granularity::Fluid);
+        assert_eq!(by_name("elephant").granularity, Granularity::Fluid);
+        assert_eq!(by_name("elephant").body.mean(), ELEPHANT_BODY_BYTES as f64);
+        // Same classes, rates and bodies either way; only granularity flips.
+        let packet = scale_mix_bg(100_000.0, false);
+        for (a, b) in specs.iter().zip(packet.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.arrival.rps(), b.arrival.rps());
+            assert_eq!(a.body.mean(), b.body.mean());
+            assert_eq!(b.granularity, Granularity::Packet);
+        }
+        let total: f64 = specs.iter().map(|s| s.arrival.rps()).sum();
+        assert!((total - 100_000.0).abs() < 1e-6);
+        // The offered byte rate the fluid solver will see: elephant
+        // dominates (65k rps × ~8 KiB ≈ 4.3 Gbps).
+        let bps = by_name("elephant").offered_bps(66);
+        assert!((4.2e9..4.4e9).contains(&(bps as f64)), "elephant {bps} bps");
     }
 
     #[test]

@@ -145,6 +145,23 @@ if [[ "${MESHLAYER_CI_SKIP_TESTS:-0}" != "1" ]]; then
     exit 1
   fi
 
+  echo "== fluid plane: meshctl links determinism (run-twice diff) =="
+  # The per-link packet-vs-fluid utilization table is a pure function of
+  # the deterministic run (every column comes from simulation counters);
+  # two identical invocations must produce byte-identical stdout.
+  links_a="$(cargo run --offline --release -q --bin meshctl -- links 20000 2)"
+  echo "$links_a"
+  links_b="$(cargo run --offline --release -q --bin meshctl -- links 20000 2)"
+  if [[ "$links_a" != "$links_b" ]]; then
+    echo "ci: meshctl links output is not deterministic across identical runs" >&2
+    diff <(echo "$links_a") <(echo "$links_b") >&2 || true
+    exit 1
+  fi
+  if ! grep -q "fluid class" <<<"$links_a"; then
+    echo "ci: meshctl links reported no fluid classes" >&2
+    exit 1
+  fi
+
   echo "== engine bench: smoke run + regression gate (1 and 4 threads) =="
   # A 2-second macro bench of the event engine at 1 and 4 engine
   # threads, gated against the checked-in baseline: hard-fails only if

@@ -8,6 +8,7 @@
 //! meshctl top [RPS] [SECS]         # hierarchical latency roll-up (pod -> service -> zone -> mesh)
 //! meshctl incident [RPS] [SECS]    # closed-loop incident: ordered causal timeline
 //! meshctl chaos [RPS] [SECS]       # incident with an injected fault script (A7-style)
+//! meshctl links [RPS] [SECS]       # per-link utilization table, packet vs fluid split
 //! meshctl policy dump [PRESET]     # render a policy snapshot (baseline|prototype|full)
 //! meshctl policy diff A B          # toggle-level diff between two presets
 //! meshctl validate-trace PATH      # check a --profile Chrome trace JSON file
@@ -18,7 +19,7 @@
 use meshlayer::apps::{elibrary, ElibraryParams};
 use meshlayer::core::{
     build_incident_report, AdaptationConfig, FaultKind, FaultScript, PolicySnapshot, RunMetrics,
-    SimSpec, Simulation, XLayerConfig,
+    SimSpec, Simulation, TopoMix, TopoParams, XLayerConfig,
 };
 use meshlayer::mesh::Sampling;
 use meshlayer::simcore::{SimDuration, SimTime};
@@ -26,7 +27,7 @@ use meshlayer::telemetry::{SloTarget, TelemetryConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: meshctl <topology|run|trace|ablate|top|incident|chaos> [RPS] [SECS]");
+    eprintln!("usage: meshctl <topology|run|trace|ablate|top|incident|chaos|links> [RPS] [SECS]");
     eprintln!("       meshctl policy <dump [PRESET] | diff PRESET PRESET>");
     eprintln!("       meshctl validate-trace PATH");
     eprintln!("       presets: baseline | prototype | full");
@@ -263,6 +264,76 @@ fn run_incident(rps: f64, secs: u64, chaos: Option<FaultScript>, name: &str) -> 
     }
 }
 
+/// `meshctl links`: run a generated ~200-pod fabric under the
+/// background-heavy mix with the background classes as fluid rate flows
+/// (DESIGN.md §14), then print the per-link utilization table with the
+/// packet vs fluid byte split, busiest links first. The output is a
+/// pure function of the deterministic run — every column derives from
+/// simulation counters, never wall clock — so CI diffs two invocations
+/// byte for byte.
+fn cmd_links(rps: f64, secs: u64) -> ExitCode {
+    let mut p = TopoParams::sized(200, rps);
+    p.mix = TopoMix::BackgroundFluid;
+    let mut spec = p.spec();
+    spec.config.duration = SimDuration::from_secs(secs);
+    spec.config.warmup = SimDuration::from_secs((secs / 4).max(1));
+    eprintln!(
+        "running a {}-pod generated fabric at {rps:.0} rps (fluid background) for {secs}s...",
+        p.pod_count()
+    );
+    let m = Simulation::build(spec).run();
+    let sim_s = m.sim_seconds.max(1e-9);
+    // Share of line rate per plane, from deterministic byte counters.
+    let share = |bytes: u64, rate_bps: u64| bytes as f64 * 8.0 / (rate_bps as f64 * sim_s);
+    let mut rows: Vec<_> = m.links.iter().collect();
+    // Busiest first; ties break on the (unique) rendered name so the
+    // ordering — and therefore the byte output — is total.
+    rows.sort_by(|a, b| {
+        let ua = share(a.tx_bytes + a.fluid_bytes, a.rate_bps);
+        let ub = share(b.tx_bytes + b.fluid_bytes, b.rate_bps);
+        ub.partial_cmp(&ua)
+            .unwrap()
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    const TOP: usize = 12;
+    println!(
+        "# links: top {} of {} by utilization (packet + fluid share of line rate)",
+        TOP.min(rows.len()),
+        rows.len()
+    );
+    println!(
+        "# link                           | rate Gbps | pkt MiB  | fluid MiB | pkt%  | fluid% | drops | fluid-drop B"
+    );
+    for l in rows.iter().take(TOP) {
+        println!(
+            "{:<33} | {:>9.1} | {:>8.2} | {:>9.2} | {:>5.1} | {:>6.1} | {:>5} | {:>12}",
+            l.name,
+            l.rate_bps as f64 / 1e9,
+            l.tx_bytes as f64 / (1024.0 * 1024.0),
+            l.fluid_bytes as f64 / (1024.0 * 1024.0),
+            share(l.tx_bytes, l.rate_bps) * 100.0,
+            share(l.fluid_bytes, l.rate_bps) * 100.0,
+            l.drops,
+            l.fluid_drop_bytes,
+        );
+    }
+    let pkt: u64 = m.links.iter().map(|l| l.tx_bytes).sum();
+    let fluid: u64 = m.links.iter().map(|l| l.fluid_bytes).sum();
+    let fdrop: u64 = m.links.iter().map(|l| l.fluid_drop_bytes).sum();
+    println!("totals: pkt_bytes={pkt} fluid_bytes={fluid} fluid_drop_bytes={fdrop}");
+    for f in &m.fluid {
+        println!(
+            "fluid class {}: flows={} demand_bps={} alloc_bps={} delivered={} dropped={}",
+            f.class, f.flows, f.demand_bps, f.alloc_bps, f.delivered_bytes, f.dropped_bytes
+        );
+    }
+    if fluid == 0 {
+        eprintln!("links: FAIL: no fluid bytes flowed on any link");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// A named preset rendered as the policy snapshot the control plane
 /// would push for it. Versions are illustrative: a dump is v1, a diff
 /// is v1 -> v2.
@@ -329,12 +400,13 @@ fn main() -> ExitCode {
         };
         return cmd_validate_trace(path);
     }
-    // `incident` needs a contended load for the SLO to burn at all; the
-    // other commands default to the paper's moderate operating point.
-    let default_rps = if cmd == "incident" || cmd == "chaos" {
-        80.0
-    } else {
-        30.0
+    // `incident` needs a contended load for the SLO to burn at all;
+    // `links` drives a generated fabric, so its load is total mix RPS;
+    // the other commands default to the paper's moderate operating point.
+    let default_rps = match cmd.as_str() {
+        "incident" | "chaos" => 80.0,
+        "links" => 20_000.0,
+        _ => 30.0,
     };
     let rps: f64 = args
         .get(1)
@@ -352,6 +424,7 @@ fn main() -> ExitCode {
         "top" => cmd_top(rps, secs),
         "incident" => cmd_incident(rps, secs),
         "chaos" => cmd_chaos(rps, secs),
+        "links" => cmd_links(rps, secs),
         _ => usage(),
     }
 }
